@@ -1,0 +1,377 @@
+(* Benchmark harness.
+
+   Two halves:
+
+   1. Bechamel microbenchmarks — one Test.make per paper table/figure,
+      each regenerating that experiment end-to-end (directive parsing,
+      consolidation transform, functional SIMT simulation and timing
+      replay) at a reduced problem size.  These measure the toolchain's
+      wall-clock cost; the *simulated* results the paper reports come from
+      `bin/experiments.exe`.
+
+   2. Ablation tables (DESIGN.md section 5) — printed directly, since
+      their interesting output is simulated device cycles, not wall time:
+        A1  device-launch-latency sensitivity (basic-dp vs grid-level)
+        A2  SMX scheduler: processor sharing vs FCFS
+        A3  pending-pool capacity (the cudaDeviceSetLimit analogue)
+        A4  perBufferSize sizing vs overflow fallbacks
+        A5  basic-dp slowdown growth with problem scale
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+module H = Dpc_apps.Harness
+module M = Dpc_sim.Metrics
+module Cfg = Dpc_gpu.Config
+module Table = Dpc_util.Table
+module Pragma = Dpc_kir.Pragma
+module V = Dpc_kir.Value
+module Mem = Dpc_gpu.Memory
+module Device = Dpc_sim.Device
+
+let grid = H.Cons Pragma.Grid
+let warp = H.Cons Pragma.Warp
+
+(* --- 1. bechamel microbenchmarks (one per table/figure) ------------------- *)
+
+let bechamel_tests =
+  let t name f = Test.make ~name (Staged.stage f) in
+  [
+    (* Table I: directive parsing. *)
+    t "tableI/pragma-parse" (fun () ->
+        ignore
+          (Dpc_minicu.Pragma_parser.parse
+             "dp consldt(block) buffer(custom, perBufferSize: 256, \
+              totalSize: 1048576) work(curr, next) threads(128)"));
+    (* Fig 4: the source-to-source transform itself. *)
+    t "fig4/parse+transform" (fun () ->
+        let prog =
+          Dpc_minicu.Parser.parse_program
+            (Dpc_apps.Sssp.dp_source Pragma.Block)
+        in
+        ignore (Dpc.Transform.apply ~cfg:Cfg.k20c ~parent:"sssp_parent" prog));
+    (* Fig 5: one SSSP consolidated run per allocator extreme. *)
+    t "fig5/sssp-warp-default" (fun () ->
+        ignore
+          (Dpc_apps.Sssp.run ~scale:800 ~alloc:Dpc_alloc.Allocator.Default warp));
+    t "fig5/sssp-warp-prealloc" (fun () ->
+        ignore
+          (Dpc_apps.Sssp.run ~scale:800 ~alloc:Dpc_alloc.Allocator.Pool warp));
+    (* Fig 6: policy points on TD. *)
+    t "fig6/td-grid-KC1" (fun () ->
+        ignore
+          (Dpc_apps.Tree_descendants.run ~scale:16
+             ~policy:(Dpc.Config_select.Kc 1) grid));
+    t "fig6/td-grid-1to1" (fun () ->
+        ignore
+          (Dpc_apps.Tree_descendants.run ~scale:16
+             ~policy:Dpc.Config_select.One_to_one grid));
+    (* Figs 7-10: each benchmark app end to end. *)
+    t "fig7/sssp-basic" (fun () -> ignore (Dpc_apps.Sssp.run ~scale:800 H.Basic));
+    t "fig7/sssp-grid" (fun () -> ignore (Dpc_apps.Sssp.run ~scale:800 grid));
+    t "fig7/spmv-grid" (fun () -> ignore (Dpc_apps.Spmv.run ~scale:1500 grid));
+    t "fig7/pagerank-grid" (fun () ->
+        ignore (Dpc_apps.Pagerank.run ~scale:800 grid));
+    t "fig7/gc-grid" (fun () ->
+        ignore (Dpc_apps.Graph_coloring.run ~scale:9 grid));
+    t "fig7/bfs-rec-grid" (fun () -> ignore (Dpc_apps.Bfs_rec.run ~scale:9 grid));
+    t "fig7/th-grid" (fun () ->
+        ignore (Dpc_apps.Tree_height.run ~scale:16 grid));
+    t "fig7/td-grid" (fun () ->
+        ignore (Dpc_apps.Tree_descendants.run ~scale:16 grid));
+  ]
+
+let run_bechamel () =
+  print_endline "=== bechamel microbenchmarks (ns per run, OLS estimate) ===";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.4) ~kde:None
+      ~stabilize:false ()
+  in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"dpc" bechamel_tests)
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) results []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (name, v) ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    rows;
+  print_newline ()
+
+(* --- 2. ablation tables ---------------------------------------------------- *)
+
+(* A1: how sensitive is each variant to the device-side launch latency?
+   basic-dp should track it linearly; grid-level should barely notice. *)
+let ablation_launch_latency () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A1: device-launch-latency sweep, SSSP cycles (basic-dp vs \
+         grid-level)"
+      ~headers:[ "latency (cycles)"; "basic-dp"; "grid-level"; "ratio" ]
+      ~aligns:Table.[ Left; Right; Right; Right ] ()
+  in
+  List.iter
+    (fun lat ->
+      let cfg = { Cfg.k20c with Cfg.device_launch_latency = lat } in
+      let b = Dpc_apps.Sssp.run ~cfg ~scale:1500 H.Basic in
+      let g = Dpc_apps.Sssp.run ~cfg ~scale:1500 grid in
+      Table.add_row t
+        [ string_of_int lat;
+          Printf.sprintf "%.0f" b.M.cycles;
+          Printf.sprintf "%.0f" g.M.cycles;
+          Table.fmt_ratio (b.M.cycles /. g.M.cycles) ])
+    [ 1_000; 5_000; 20_000 ];
+  Table.print t
+
+(* A2: processor-sharing vs FCFS SMX scheduling. *)
+let ablation_scheduler () =
+  let t =
+    Table.create
+      ~title:"Ablation A2: SMX scheduler model, SSSP cycles"
+      ~headers:[ "variant"; "processor sharing"; "fcfs (no contention)" ]
+      ~aligns:Table.[ Left; Right; Right ] ()
+  in
+  let prog gran = Dpc_minicu.Parser.parse_program (Dpc_apps.Sssp.dp_source gran) in
+  let run sched variant =
+    (* Re-run SSSP by hand to select the scheduler. *)
+    let g = Dpc_graph.Gen.citeseer_like ~n:1500 ~seed:7 in
+    let entry, program =
+      match variant with
+      | `Basic -> ("sssp_parent", prog Pragma.Grid)
+      | `Grid ->
+        let r =
+          Dpc.Transform.apply ~cfg:Cfg.k20c ~parent:"sssp_parent"
+            (prog Pragma.Grid)
+        in
+        (r.Dpc.Transform.entry, r.Dpc.Transform.program)
+    in
+    let dev = Device.create ~cfg:Cfg.k20c ~scheduler:sched program in
+    let rp = Device.of_int_array dev ~name:"rp" g.Dpc_graph.Csr.row_ptr in
+    let col = Device.of_int_array dev ~name:"col" g.Dpc_graph.Csr.col in
+    let w = Device.of_int_array dev ~name:"w" g.Dpc_graph.Csr.weights in
+    let d0 = Array.make g.Dpc_graph.Csr.n 1_000_000_000 in
+    d0.(0) <- 0;
+    let dist = Device.of_int_array dev ~name:"dist" d0 in
+    let changed = Device.alloc_int dev ~name:"ch" 1 in
+    let continue = ref true in
+    while !continue do
+      Device.launch dev entry
+        ~grid:((g.Dpc_graph.Csr.n + 127) / 128)
+        ~block:128
+        [ V.Vbuf rp.Mem.id; V.Vbuf col.Mem.id; V.Vbuf w.Mem.id;
+          V.Vbuf dist.Mem.id; V.Vbuf changed.Mem.id;
+          V.Vint g.Dpc_graph.Csr.n; V.Vint 8 ];
+      let c = (Device.read_int_array dev changed.Mem.id).(0) in
+      Mem.write_int (Device.buf dev changed.Mem.id) 0 0;
+      continue := c <> 0
+    done;
+    (Device.report dev).M.cycles
+  in
+  List.iter
+    (fun (label, variant) ->
+      Table.add_row t
+        [ label;
+          Printf.sprintf "%.0f" (run Dpc_sim.Timing.Processor_sharing variant);
+          Printf.sprintf "%.0f" (run Dpc_sim.Timing.Fcfs variant) ])
+    [ ("basic-dp", `Basic); ("grid-level", `Grid) ];
+  Table.print t
+
+(* A3: pending-pool capacity sweep — the cudaDeviceSetLimit analogue the
+   paper mentions in Section III.B. *)
+let ablation_pool_capacity () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A3: fixed pending-pool capacity, SSSP basic-dp \
+         (cudaDeviceSetLimit analogue)"
+      ~headers:
+        [ "pool entries"; "cycles"; "virtualized launches"; "max pending" ]
+      ~aligns:Table.[ Left; Right; Right; Right ] ()
+  in
+  List.iter
+    (fun cap ->
+      let cfg = { Cfg.k20c with Cfg.fixed_pool_capacity = cap } in
+      let r = Dpc_apps.Sssp.run ~cfg ~scale:3000 H.Basic in
+      Table.add_row t
+        [ string_of_int cap;
+          Printf.sprintf "%.0f" r.M.cycles;
+          string_of_int r.M.virtualized_launches;
+          string_of_int r.M.max_pending ])
+    [ 256; 2048; 16384 ];
+  Table.print t
+
+(* A4: consolidation-buffer sizing.  Small explicit perBufferSize values
+   overflow and fall back to direct launches; the report counts both the
+   fallback launches and the cycles they cost. *)
+let ablation_buffer_sizing () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A4: perBufferSize vs overflow fallback (ragged workload, \
+         block-level)"
+      ~headers:[ "perBufferSize (items)"; "cycles"; "device launches" ]
+      ~aligns:Table.[ Left; Right; Right ] ()
+  in
+  let source cap =
+    Printf.sprintf
+      {|
+__global__ void child(int* row_ptr, int* data, int node) {
+  var t = threadIdx.x;
+  var start = row_ptr[node];
+  var end = row_ptr[node + 1];
+  while (start + t < end) {
+    data[start + t] = data[start + t] * 2;
+    t = t + blockDim.x;
+  }
+}
+__global__ void parent(int* row_ptr, int* data, int n, int threshold) {
+  var tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    var node = tid;
+    var deg = row_ptr[node + 1] - row_ptr[node];
+    if (deg > threshold) {
+      #pragma dp consldt(block) buffer(custom, perBufferSize: %d) work(node)
+      launch child<<<1, 64>>>(row_ptr, data, node);
+    } else {
+      for (var j = row_ptr[node]; j < row_ptr[node + 1]; j = j + 1) {
+        data[j] = data[j] * 2;
+      }
+    }
+  }
+}
+|}
+      cap
+  in
+  let n = 3000 in
+  let g = Dpc_graph.Gen.citeseer_like ~n ~seed:5 in
+  List.iter
+    (fun cap ->
+      let prog = Dpc_minicu.Parser.parse_program (source cap) in
+      let r = Dpc.Transform.apply ~cfg:Cfg.k20c ~parent:"parent" prog in
+      let dev = Device.create ~cfg:Cfg.k20c r.Dpc.Transform.program in
+      let rp = Device.of_int_array dev ~name:"rp" g.Dpc_graph.Csr.row_ptr in
+      let data =
+        Device.of_int_array dev ~name:"data"
+          (Array.init (Dpc_graph.Csr.nnz g) (fun i -> i))
+      in
+      Device.launch dev r.Dpc.Transform.entry ~grid:((n + 127) / 128)
+        ~block:128
+        [ V.Vbuf rp.Mem.id; V.Vbuf data.Mem.id; V.Vint n; V.Vint 8 ];
+      let rep = Device.report dev in
+      Table.add_row t
+        [ string_of_int cap;
+          Printf.sprintf "%.0f" rep.M.cycles;
+          string_of_int rep.M.device_launches ])
+    [ 4; 32; 512 ];
+  Table.print t
+
+(* A5: the basic-dp slowdown grows with problem scale (why the paper's
+   full-size runs show 2-3 orders of magnitude). *)
+let ablation_scale_growth () =
+  let t =
+    Table.create
+      ~title:"Ablation A5: basic-dp slowdown vs no-dp as SSSP scale grows"
+      ~headers:[ "nodes"; "basic-dp cycles"; "no-dp cycles"; "slowdown" ]
+      ~aligns:Table.[ Left; Right; Right; Right ] ()
+  in
+  List.iter
+    (fun n ->
+      let b = Dpc_apps.Sssp.run ~scale:n H.Basic in
+      let f = Dpc_apps.Sssp.run ~scale:n H.Flat in
+      Table.add_row t
+        [ string_of_int n;
+          Printf.sprintf "%.0f" b.M.cycles;
+          Printf.sprintf "%.0f" f.M.cycles;
+          Table.fmt_ratio (b.M.cycles /. f.M.cycles) ])
+    [ 1000; 2000; 4000; 8000 ];
+  Table.print t
+
+(* A6: the Free Launch (MICRO'15) thread-reuse baseline vs consolidation
+   on the ragged workload — the related-work comparison of Section VI. *)
+let ablation_free_launch () =
+  let t =
+    Table.create
+      ~title:
+        "Ablation A6: Free Launch (thread reuse) vs workload consolidation          (ragged workload)"
+      ~headers:[ "variant"; "cycles"; "device launches"; "warp efficiency" ]
+      ~aligns:Table.[ Left; Right; Right; Right ] ()
+  in
+  let n = 3000 in
+  let g = Dpc_graph.Gen.citeseer_like ~n ~seed:5 in
+  let source gran =
+    Printf.sprintf
+      {|
+__global__ void child(int* row_ptr, int* data, int node) {
+  var t = threadIdx.x;
+  var start = row_ptr[node];
+  var end = row_ptr[node + 1];
+  while (start + t < end) {
+    data[start + t] = data[start + t] * 2;
+    t = t + blockDim.x;
+  }
+}
+__global__ void parent(int* row_ptr, int* data, int n, int threshold) {
+  var tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    var node = tid;
+    var deg = row_ptr[node + 1] - row_ptr[node];
+    if (deg > threshold) {
+      #pragma dp consldt(%s) work(node)
+      launch child<<<1, 64>>>(row_ptr, data, node);
+    } else {
+      for (var j = row_ptr[node]; j < row_ptr[node + 1]; j = j + 1) {
+        data[j] = data[j] * 2;
+      }
+    }
+  }
+}
+|}
+      gran
+  in
+  let run label program entry =
+    let dev = Device.create ~cfg:Cfg.k20c program in
+    let rp = Device.of_int_array dev ~name:"rp" g.Dpc_graph.Csr.row_ptr in
+    let data =
+      Device.of_int_array dev ~name:"data"
+        (Array.init (Dpc_graph.Csr.nnz g) (fun i -> i))
+    in
+    Device.launch dev entry ~grid:((n + 127) / 128) ~block:128
+      [ V.Vbuf rp.Mem.id; V.Vbuf data.Mem.id; V.Vint n; V.Vint 8 ];
+    let r = Device.report dev in
+    Table.add_row t
+      [ label;
+        Printf.sprintf "%.0f" r.M.cycles;
+        string_of_int r.M.device_launches;
+        Table.fmt_pct r.M.warp_efficiency ]
+  in
+  let prog () = Dpc_minicu.Parser.parse_program (source "grid") in
+  run "basic-dp" (prog ()) "parent";
+  let fl = Dpc.Free_launch.apply ~parent:"parent" (prog ()) in
+  run "free launch (thread reuse)" fl.Dpc.Free_launch.program
+    fl.Dpc.Free_launch.entry;
+  let cons = Dpc.Transform.apply ~cfg:Cfg.k20c ~parent:"parent" (prog ()) in
+  run "grid-level consolidation" cons.Dpc.Transform.program
+    cons.Dpc.Transform.entry;
+  Table.print t
+
+let () =
+  run_bechamel ();
+  ablation_launch_latency ();
+  ablation_scheduler ();
+  ablation_pool_capacity ();
+  ablation_buffer_sizing ();
+  ablation_scale_growth ();
+  ablation_free_launch ();
+  print_endline "bench: done (see bin/experiments.exe for the paper figures)"

@@ -1,0 +1,162 @@
+(* dpcc: the directive-based workload-consolidation compiler, as a
+   source-to-source command-line tool (the paper's ROSE-based compiler).
+
+   Input: MiniCU source with a #pragma dp annotated device-side launch.
+   Output: MiniCU source with the consolidated parent, the consolidated
+   child kernel, and (for grid-level postwork) the consolidated postwork
+   kernel. *)
+
+open Cmdliner
+
+let pragma_help =
+  {|#pragma dp clause reference (Table I of the paper):
+
+  #pragma dp consldt(warp|block|grid)          consolidation granularity  [required]
+             buffer(default|halloc|custom
+                    [, perBufferSize: <int|var>]
+                    [, totalSize: <int>])      buffer allocator and sizing [optional]
+             work(v1, v2, ...)                 variables to buffer        [required]
+             threads(<int>)                    consolidated block size    [optional]
+             blocks(<int>)                     consolidated grid size     [optional]
+
+Place the directive on the line before the device-side launch it applies to:
+
+  #pragma dp consldt(block) buffer(custom, perBufferSize: 256) work(curr)
+  launch child<<<1, 64>>>(arr, curr);
+|}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run input parent policy output help_pragma =
+  if help_pragma then begin
+    print_string pragma_help;
+    0
+  end
+  else
+    match input with
+    | None ->
+      prerr_endline "dpcc: missing input file (see --help)";
+      2
+    | Some path -> (
+      try
+        let src = read_file path in
+        let prog = Dpc_minicu.Parser.parse_program src in
+        let parent =
+          match parent with
+          | Some p -> p
+          | None -> (
+            (* Default: the unique kernel containing an annotated launch. *)
+            let annotated =
+              List.filter
+                (fun k ->
+                  List.exists
+                    (fun (l : Dpc_kir.Ast.launch) -> l.Dpc_kir.Ast.pragma <> None)
+                    (Dpc_kir.Ast.collect_launches k.Dpc_kir.Kernel.body))
+                (Dpc_kir.Kernel.Program.kernels prog)
+            in
+            match annotated with
+            | [ k ] -> k.Dpc_kir.Kernel.kname
+            | [] -> failwith "no kernel contains a #pragma dp annotated launch"
+            | ks ->
+              failwith
+                (Printf.sprintf
+                   "multiple annotated kernels (%s); pick one with --parent"
+                   (String.concat ", "
+                      (List.map (fun k -> k.Dpc_kir.Kernel.kname) ks))))
+        in
+        let policy =
+          Option.map
+            (fun s ->
+              match String.lowercase_ascii s with
+              | "kc1" | "kc_1" -> Dpc.Config_select.Kc 1
+              | "kc16" | "kc_16" -> Dpc.Config_select.Kc 16
+              | "kc32" | "kc_32" -> Dpc.Config_select.Kc 32
+              | "1-1" | "one-to-one" -> Dpc.Config_select.One_to_one
+              | other -> (
+                let bad () =
+                  failwith
+                    (Printf.sprintf
+                       "bad policy %S (expected kc1, kc16, kc32, 1-1, or BxT)"
+                       other)
+                in
+                match String.index_opt other 'x' with
+                | Some i -> (
+                  match
+                    ( int_of_string_opt (String.sub other 0 i),
+                      int_of_string_opt
+                        (String.sub other (i + 1) (String.length other - i - 1))
+                    )
+                  with
+                  | Some b, Some t -> Dpc.Config_select.Explicit (b, t)
+                  | _ -> bad ())
+                | None -> bad ()))
+            policy
+        in
+        let r =
+          Dpc.Transform.apply ?policy ~cfg:Dpc_gpu.Config.k20c ~parent prog
+        in
+        let out = Dpc_kir.Pp.program r.Dpc.Transform.program in
+        (match output with
+        | Some path ->
+          let oc = open_out path in
+          Fun.protect
+            ~finally:(fun () -> close_out_noerr oc)
+            (fun () -> output_string oc out)
+        | None -> print_string out);
+        Printf.eprintf
+          "dpcc: %s consolidation of %s -> entry kernel %s%s\n"
+          (Dpc_kir.Pragma.granularity_to_string r.Dpc.Transform.granularity)
+          parent r.Dpc.Transform.entry
+          (match r.Dpc.Transform.post_kernel with
+          | Some p -> Printf.sprintf " (postwork kernel %s)" p
+          | None -> "");
+        0
+      with
+      | Dpc_minicu.Lexer.Lex_error { line; msg } ->
+        Printf.eprintf "dpcc: %s:%d: lexical error: %s\n" path line msg;
+        1
+      | Dpc_minicu.Parser.Parse_error { line; msg } ->
+        Printf.eprintf "dpcc: %s:%d: syntax error: %s\n" path line msg;
+        1
+      | Dpc_minicu.Pragma_parser.Pragma_error msg ->
+        Printf.eprintf "dpcc: %s: bad #pragma dp: %s\n" path msg;
+        1
+      | Dpc.Transform.Unsupported msg ->
+        Printf.eprintf "dpcc: %s: unsupported: %s\n" path msg;
+        1
+      | Failure msg ->
+        Printf.eprintf "dpcc: %s\n" msg;
+        1)
+
+let input =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE"
+       ~doc:"Annotated MiniCU source file.")
+
+let parent =
+  Arg.(value & opt (some string) None & info [ "parent" ] ~docv:"KERNEL"
+       ~doc:"Kernel containing the annotated launch (default: unique).")
+
+let policy =
+  Arg.(value & opt (some string) None & info [ "policy" ] ~docv:"POLICY"
+       ~doc:"Configuration policy: kc1, kc16, kc32, 1-1, or BxT (e.g. 26x256). \
+             Default: the paper's per-granularity KC policy.")
+
+let output =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+       ~doc:"Write generated source here (default: stdout).")
+
+let help_pragma =
+  Arg.(value & flag & info [ "help-pragma" ]
+       ~doc:"Print the #pragma dp clause reference (Table I) and exit.")
+
+let cmd =
+  let doc = "directive-based workload-consolidation compiler for MiniCU" in
+  Cmd.v
+    (Cmd.info "dpcc" ~doc)
+    Term.(const run $ input $ parent $ policy $ output $ help_pragma)
+
+let () = exit (Cmd.eval' cmd)

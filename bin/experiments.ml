@@ -1,0 +1,84 @@
+(* Experiment runner: regenerates every table and figure of the paper's
+   evaluation (Section V) on the simulated device.
+
+   Usage:
+     experiments fig5            buffer allocators on SSSP
+     experiments fig6            kernel configurations on TD
+     experiments fig7-10         the overall evaluation figures
+     experiments summary         Section V.C average speedups
+     experiments all             everything above *)
+
+open Cmdliner
+module E = Dpc_experiments
+
+let print_suite_figs suite which =
+  let t =
+    match which with
+    | `Fig7 -> E.Figs7_10.fig7 suite
+    | `Fig8 -> E.Figs7_10.fig8 suite
+    | `Fig9 -> E.Figs7_10.fig9 suite
+    | `Fig10 -> E.Figs7_10.fig10 suite
+    | `Summary -> E.Figs7_10.summary suite
+  in
+  Dpc_util.Table.print t;
+  print_newline ()
+
+let needs_suite = function
+  | "fig7" | "fig8" | "fig9" | "fig10" | "summary" | "all" -> true
+  | _ -> false
+
+let run figures quiet scale =
+  let verbose = not quiet in
+  let figures = if figures = [] then [ "all" ] else figures in
+  let suite =
+    if List.exists needs_suite figures then
+      Some (E.Suite.collect ~verbose ?scale ())
+    else None
+  in
+  let get_suite () = Option.get suite in
+  List.iter
+    (fun f ->
+      match String.lowercase_ascii f with
+      | "fig5" -> E.Fig5_allocators.print ~verbose ?scale ()
+      | "fig6" -> E.Fig6_config.print ~verbose ?scale ()
+      | "fig7" -> print_suite_figs (get_suite ()) `Fig7
+      | "fig8" -> print_suite_figs (get_suite ()) `Fig8
+      | "fig9" -> print_suite_figs (get_suite ()) `Fig9
+      | "fig10" -> print_suite_figs (get_suite ()) `Fig10
+      | "summary" -> print_suite_figs (get_suite ()) `Summary
+      | "all" ->
+        let s = get_suite () in
+        print_suite_figs s `Fig7;
+        print_suite_figs s `Fig8;
+        print_suite_figs s `Fig9;
+        print_suite_figs s `Fig10;
+        print_suite_figs s `Summary;
+        E.Fig5_allocators.print ~verbose ?scale ();
+        print_newline ();
+        E.Fig6_config.print ~verbose ?scale ()
+      | other ->
+        Printf.eprintf
+          "unknown figure %S (fig5 fig6 fig7 fig8 fig9 fig10 summary all)\n"
+          other;
+        exit 2)
+    figures;
+  0
+
+let figures =
+  Arg.(value & pos_all string [] & info [] ~docv:"FIGURE"
+       ~doc:"Which figures to regenerate (fig5, fig6, fig7, fig8, fig9, \
+             fig10, summary, all).")
+
+let quiet =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress progress logging.")
+
+let scale =
+  Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N"
+       ~doc:"Override each app's problem size (interpreted per app: node \
+             count, log2 node count, or tree shrink divisor).")
+
+let cmd =
+  let doc = "regenerate the paper's evaluation tables and figures" in
+  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ figures $ quiet $ scale)
+
+let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,114 @@
+(** Shared plumbing for the seven benchmark applications.
+
+    Every app exposes
+
+    {[ run : ?policy -> ?alloc -> ?cfg -> ?scale -> ?seed -> variant
+         -> Dpc_sim.Metrics.report ]}
+
+    where the variants are the paper's comparison points: [Basic]
+    (basic-dp, Fig. 1 template run as written), [Flat] (the no-dp flat
+    kernel), and [Cons g] (the compiler-consolidated code at warp/block/
+    grid granularity).  Each run checks its results against the CPU
+    reference and raises {!Verification_failed} on any mismatch, so a
+    report is also a correctness certificate. *)
+
+module Pragma = Dpc_kir.Pragma
+module V = Dpc_kir.Value
+module Mem = Dpc_gpu.Memory
+module Cfg = Dpc_gpu.Config
+module Device = Dpc_sim.Device
+module Alloc = Dpc_alloc.Allocator
+module Transform = Dpc.Transform
+module Parser = Dpc_minicu.Parser
+
+type variant = Basic | Flat | Cons of Pragma.granularity
+
+let variant_to_string = function
+  | Basic -> "basic-dp"
+  | Flat -> "no-dp"
+  | Cons g -> Pragma.granularity_to_string g ^ "-level"
+
+let all_variants =
+  [ Basic; Flat; Cons Pragma.Warp; Cons Pragma.Block; Cons Pragma.Grid ]
+
+exception Verification_failed of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Verification_failed s)) fmt
+
+type prepared = {
+  dev : Device.t;
+  entry : string;
+  trans : Transform.result option;
+}
+
+(** Build a device for a DP source: [Basic] runs the annotated program as
+    written (the pragma is inert at runtime); [Cons g] applies the
+    consolidation compiler first.  [source] receives the granularity to
+    embed in the pragma text. *)
+let prepare ?policy ?(alloc = Alloc.Pool) ~cfg
+    ~(source : Pragma.granularity -> string) ~parent variant : prepared =
+  match variant with
+  | Flat -> invalid_arg "Harness.prepare: use prepare_flat for Flat"
+  | Basic ->
+    let prog = Parser.parse_program (source Pragma.Grid) in
+    { dev = Device.create ~cfg prog; entry = parent; trans = None }
+  | Cons g ->
+    let prog = Parser.parse_program (source g) in
+    let r = Transform.apply ?policy ~cfg ~parent prog in
+    {
+      dev = Device.create ~cfg ~alloc_kind:alloc r.Transform.program;
+      entry = r.Transform.entry;
+      trans = Some r;
+    }
+
+let prepare_flat ~cfg ~(source : string) ~entry : prepared =
+  let prog = Parser.parse_program source in
+  { dev = Device.create ~cfg prog; entry; trans = None }
+
+(* --- verification helpers ------------------------------------------------ *)
+
+let check_int_arrays ~what (expect : int array) (got : int array) =
+  if Array.length expect <> Array.length got then
+    fail "%s: length %d vs %d" what (Array.length expect) (Array.length got);
+  Array.iteri
+    (fun i e ->
+      if got.(i) <> e then
+        fail "%s: index %d: expected %d, got %d" what i e got.(i))
+    expect
+
+let check_float_arrays ~what ?(tol = 1e-6) (expect : float array)
+    (got : float array) =
+  if Array.length expect <> Array.length got then
+    fail "%s: length %d vs %d" what (Array.length expect) (Array.length got);
+  Array.iteri
+    (fun i e ->
+      let d = Float.abs (got.(i) -. e) in
+      let scale = Float.max 1.0 (Float.abs e) in
+      if d /. scale > tol then
+        fail "%s: index %d: expected %g, got %g" what i e got.(i))
+    expect
+
+(* --- small launch helpers ------------------------------------------------ *)
+
+let vbuf (b : Mem.buf) = V.Vbuf b.Mem.id
+
+let blocks_for ~threads n = Int.max 1 ((n + threads - 1) / threads)
+
+(** Launch the consolidated entry of a recursive app with a seed work
+    buffer (see {!Transform.seed_param_note}). *)
+let launch_recursive_seed (p : prepared) ~cfg ~uniform_args ~seed_items =
+  match p.trans with
+  | Some r when r.Transform.recursive ->
+    let seed =
+      Device.of_int_array p.dev ~name:"__seed" (Array.of_list seed_items)
+    in
+    let seed_cnt =
+      Device.of_int_array p.dev ~name:"__seed_cnt"
+        [| List.length seed_items |]
+    in
+    let grid, block =
+      Transform.launch_config cfg r ~items:(List.length seed_items)
+    in
+    Device.launch p.dev p.entry ~grid ~block
+      (uniform_args @ [ vbuf seed; vbuf seed_cnt ])
+  | _ -> invalid_arg "launch_recursive_seed: not a recursive consolidation"

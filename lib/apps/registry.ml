@@ -1,0 +1,66 @@
+(** The seven benchmarks of the paper's evaluation (Section V), behind a
+    uniform runner interface for the experiment harness.
+
+    [scale] semantics are app-specific (documented per app): node count
+    for the citeseer-based apps, log2 node count for the kron-based apps,
+    and the shrink divisor for the tree datasets.  Every runner verifies
+    its results against the CPU reference before reporting. *)
+
+type runner =
+  ?policy:Dpc.Config_select.policy ->
+  ?alloc:Dpc_alloc.Allocator.kind ->
+  ?cfg:Dpc_gpu.Config.t ->
+  ?scale:int ->
+  ?seed:int ->
+  Harness.variant ->
+  Dpc_sim.Metrics.report
+
+type entry = { name : string; dataset : string; run : runner }
+
+let sssp =
+  { name = Sssp.name; dataset = Sssp.dataset_name;
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
+        Sssp.run ?policy ?alloc ?cfg ?scale ?seed v) }
+
+let spmv =
+  { name = Spmv.name; dataset = Spmv.dataset_name;
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
+        Spmv.run ?policy ?alloc ?cfg ?scale ?seed v) }
+
+let pagerank =
+  { name = Pagerank.name; dataset = Pagerank.dataset_name;
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
+        Pagerank.run ?policy ?alloc ?cfg ?scale ?seed v) }
+
+let graph_coloring =
+  { name = Graph_coloring.name; dataset = Graph_coloring.dataset_name;
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
+        Graph_coloring.run ?policy ?alloc ?cfg ?scale ?seed v) }
+
+let bfs_rec =
+  { name = Bfs_rec.name; dataset = Bfs_rec.dataset_name;
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
+        Bfs_rec.run ?policy ?alloc ?cfg ?scale ?seed v) }
+
+let tree_height =
+  { name = Tree_height.name; dataset = Tree_height.dataset_name;
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
+        Tree_height.run ?policy ?alloc ?cfg ?scale ?seed v) }
+
+let tree_descendants =
+  { name = Tree_descendants.name; dataset = Tree_descendants.dataset_name;
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
+        Tree_descendants.run ?policy ?alloc ?cfg ?scale ?seed v) }
+
+(** In the paper's presentation order. *)
+let all =
+  [ sssp; spmv; pagerank; graph_coloring; bfs_rec; tree_height;
+    tree_descendants ]
+
+let find name =
+  match List.find_opt (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii name) all with
+  | Some e -> e
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown app %S (have: %s)" name
+         (String.concat ", " (List.map (fun e -> e.name) all)))

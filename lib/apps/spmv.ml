@@ -1,0 +1,98 @@
+(** Sparse Matrix-Vector multiplication (CSR scalar kernel, after
+    Greathouse-Daga [14]): one thread per row; long rows are delegated to
+    a cooperative child kernel that accumulates with [atomicAdd].
+
+    Dataset: citeseer_like used as a sparse matrix (values = weights). *)
+
+open Harness
+module Csr = Dpc_graph.Csr
+module Gen = Dpc_graph.Gen
+module Cpu = Dpc_graph.Cpu_ref
+
+let name = "SpMV"
+let dataset_name = "citeseer_like"
+let threshold = 8
+
+let dp_source gran =
+  Printf.sprintf
+    {|
+__global__ void spmv_child(int* row_ptr, int* col, float* vals, float* x, float* y, int row) {
+  var t = threadIdx.x;
+  var start = row_ptr[row];
+  var end = row_ptr[row + 1];
+  while (start + t < end) {
+    atomicAdd(y, row, vals[start + t] * x[col[start + t]]);
+    t = t + blockDim.x;
+  }
+}
+__global__ void spmv_parent(int* row_ptr, int* col, float* vals, float* x, float* y, int n, int threshold) {
+  var tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    var row = tid;
+    var deg = row_ptr[row + 1] - row_ptr[row];
+    if (deg > threshold) {
+      #pragma dp consldt(%s) work(row)
+      launch spmv_child<<<1, 64>>>(row_ptr, col, vals, x, y, row);
+    } else {
+      var acc = 0.0f;
+      for (var e = row_ptr[row]; e < row_ptr[row + 1]; e = e + 1) {
+        acc = acc + vals[e] * x[col[e]];
+      }
+      y[row] = acc;
+    }
+  }
+}
+|}
+    (Dpc_kir.Pragma.granularity_to_string gran)
+
+let flat_source =
+  {|
+__global__ void spmv_flat(int* row_ptr, int* col, float* vals, float* x, float* y, int n) {
+  var tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    var acc = 0.0f;
+    for (var e = row_ptr[tid]; e < row_ptr[tid + 1]; e = e + 1) {
+      acc = acc + vals[e] * x[col[e]];
+    }
+    y[tid] = acc;
+  }
+}
+|}
+
+let default_scale = 8000
+
+let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
+    ?(seed = 11) variant =
+  let g = Gen.citeseer_like ~n:scale ~seed in
+  let rng = Dpc_util.Rng.create (seed + 1) in
+  let x = Array.init g.Csr.n (fun _ -> Dpc_util.Rng.float rng) in
+  let expect = Cpu.spmv g x in
+  let p =
+    match variant with
+    | Flat -> prepare_flat ~cfg ~source:flat_source ~entry:"spmv_flat"
+    | v -> prepare ?policy ?alloc ~cfg ~source:dp_source ~parent:"spmv_parent" v
+  in
+  let dev = p.dev in
+  let row_ptr = Device.of_int_array dev ~name:"row_ptr" g.Csr.row_ptr in
+  let col = Device.of_int_array dev ~name:"col" g.Csr.col in
+  let vals =
+    Device.of_float_array dev ~name:"vals"
+      (Array.map Float.of_int g.Csr.weights)
+  in
+  let xb = Device.of_float_array dev ~name:"x" x in
+  let y = Device.alloc_float dev ~name:"y" g.Csr.n in
+  let threads = 128 in
+  let args =
+    [ vbuf row_ptr; vbuf col; vbuf vals; vbuf xb; vbuf y; V.Vint g.Csr.n ]
+  in
+  (match variant with
+  | Flat ->
+    Device.launch dev p.entry ~grid:(blocks_for ~threads g.Csr.n)
+      ~block:threads args
+  | Basic | Cons _ ->
+    Device.launch dev p.entry ~grid:(blocks_for ~threads g.Csr.n)
+      ~block:threads
+      (args @ [ V.Vint threshold ]));
+  check_float_arrays ~what:"spmv y" ~tol:1e-9 expect
+    (Device.read_float_array dev y.Dpc_gpu.Memory.id);
+  Device.report dev

@@ -1,0 +1,30 @@
+(** Tree Heights (TH): recursive computation of every subtree's height
+    (leaves are 0; internal nodes 1 + max over children). *)
+
+module Tree = Dpc_graph.Tree
+
+let name = "TH"
+let dataset_name = "tree dataset1"
+
+let spec : Tree_common.spec =
+  {
+    Tree_common.app_name = name;
+    kernel = "th";
+    base = 0;
+    acc_init = 0;
+    acc_update = "acc = max(acc, out[child_list[k]] + 1);";
+    cpu_ref = Tree.heights;
+    host_combine =
+      (fun got tree v ->
+        let best = ref 0 in
+        for e = tree.Tree.child_ptr.(v) to tree.Tree.child_ptr.(v + 1) - 1 do
+          best := Int.max !best (got.(tree.Tree.child_list.(e)) + 1)
+        done;
+        !best);
+  }
+
+(** [scale] is the tree shrink divisor (larger = smaller tree); see
+    {!Dpc_graph.Tree.dataset1}. *)
+let run ?policy ?alloc ?cfg ?(scale = 4) ?max_nodes ?seed ?dataset variant =
+  Tree_common.run spec ?policy ?alloc ?cfg ~shrink:scale ?max_nodes ?seed
+    ?dataset variant

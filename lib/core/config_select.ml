@@ -1,0 +1,93 @@
+(** Kernel-configuration selection for consolidated kernels (Section IV.E,
+    "Kernel Configuration Handling" and Fig. 6).
+
+    The occupancy calculator gives a configuration [(B, T)] that fills the
+    device for a single kernel.  Concurrent kernels must share the device,
+    so a concurrency target of [X] downgrades it to [(B/X, T)] — the
+    paper's [KC_X].  The paper's defaults: KC_1 for grid-level, KC_16 for
+    block-level, KC_32 for warp-level consolidation.
+
+    [One_to_one] reproduces the naive baseline of Fig. 6: as many blocks
+    (or threads, for thread-mapped children) as buffered items.
+    [Explicit] pins a configuration — used by the pragma's [threads]/
+    [blocks] clauses and by the exhaustive-search harness. *)
+
+module A = Dpc_kir.Ast
+module Pragma = Dpc_kir.Pragma
+module Cfg = Dpc_gpu.Config
+
+type policy =
+  | Kc of int  (** target kernel concurrency: (B/X, T) *)
+  | One_to_one
+  | Explicit of int * int  (** blocks, threads *)
+
+(** How the original child kernel maps work to threads (Section IV.C). *)
+type child_shape =
+  | Solo_thread  (** grid 1, block 1: one thread per work item *)
+  | Solo_block of int option
+      (** grid 1, block T: one cooperative block per item (T if static) *)
+  | Multi_block  (** full grid cooperates on each item *)
+
+let default_policy = function
+  | Pragma.Warp -> Kc 32
+  | Pragma.Block -> Kc 16
+  | Pragma.Grid -> Kc 1
+
+let policy_to_string = function
+  | Kc x -> Printf.sprintf "KC_%d" x
+  | One_to_one -> "1-1"
+  | Explicit (b, t) -> Printf.sprintf "(%d,%d)" b t
+
+(** Classify a child launch from its original configuration expressions. *)
+let classify ~(grid : A.expr) ~(block : A.expr) : child_shape =
+  match (grid, block) with
+  | A.Const (Dpc_kir.Value.Vint 1), A.Const (Dpc_kir.Value.Vint 1) ->
+    Solo_thread
+  | A.Const (Dpc_kir.Value.Vint 1), A.Const (Dpc_kir.Value.Vint t) ->
+    Solo_block (Some t)
+  | A.Const (Dpc_kir.Value.Vint 1), _ -> Solo_block None
+  | _ -> Multi_block
+
+(** Threads per block of the consolidated kernel: the pragma's [threads]
+    clause wins; otherwise a static solo-block child keeps its block size;
+    otherwise 256 (a good default for moldable kernels on Kepler). *)
+let select_threads ~(pragma : Pragma.t) ~(shape : child_shape) =
+  match pragma.Pragma.threads with
+  | Some t -> t
+  | None -> (
+    match shape with
+    | Solo_block (Some t) -> t
+    | Solo_thread | Solo_block None | Multi_block -> 256)
+
+(** Configuration expressions [(grid, block)] for the consolidated child
+    launch.  [cnt] is the expression reading the number of buffered items
+    (used by the 1-1 policy). *)
+let select (cfg : Cfg.t) ~policy ~(pragma : Pragma.t) ~(shape : child_shape)
+    ~(cnt : A.expr) : A.expr * A.expr =
+  let t = select_threads ~pragma ~shape in
+  let const n = A.Const (Dpc_kir.Value.Vint n) in
+  match policy with
+  | Explicit (b, th) -> (const b, const th)
+  | Kc x ->
+    if x <= 0 then invalid_arg "Config_select.select: KC_X with X <= 0";
+    let fill = Cfg.device_fill_blocks cfg ~block_dim:t in
+    let b =
+      match pragma.Pragma.blocks with
+      | Some b -> b
+      | None -> Int.max 1 (fill / x)
+    in
+    (const b, const t)
+  | One_to_one -> (
+    match shape with
+    | Solo_thread ->
+      (* Thread-mapped child: as many threads as items, in one block of up
+         to the hardware maximum. *)
+      let cap = cfg.Cfg.max_threads_per_block in
+      ( A.Binop (A.Div, A.Binop (A.Add, cnt, const (cap - 1)), const cap),
+        A.Binop (A.Min, A.Binop (A.Max, cnt, const 1), const cap) )
+    | Solo_block _ | Multi_block ->
+      (* Block-mapped child: one block per item, clamped to the hardware
+         grid limit. *)
+      ( A.Binop
+          (A.Min, A.Binop (A.Max, cnt, const 1), const cfg.Cfg.max_grid_blocks),
+        const t ))

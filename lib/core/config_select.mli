@@ -1,0 +1,44 @@
+(** Kernel-configuration selection for consolidated kernels (Section IV.E
+    and Fig. 6).
+
+    The occupancy calculator gives a configuration [(B, T)] that fills the
+    device for a single kernel; a concurrency target of X downgrades it to
+    [(B/X, T)] — the paper's KC_X.  Defaults: KC_32 for warp-level, KC_16
+    for block-level, KC_1 for grid-level consolidation. *)
+
+type policy =
+  | Kc of int  (** target kernel concurrency: ([B/X], T) *)
+  | One_to_one  (** as many blocks (or threads) as buffered items *)
+  | Explicit of int * int  (** pinned (blocks, threads) *)
+
+(** How the original child kernel maps work to threads (Section IV.C). *)
+type child_shape =
+  | Solo_thread  (** grid 1, block 1: one thread per work item *)
+  | Solo_block of int option
+      (** grid 1, block T: one cooperative block per item *)
+  | Multi_block  (** the whole grid cooperates on each item *)
+
+(** The paper's per-granularity default. *)
+val default_policy : Dpc_kir.Pragma.granularity -> policy
+
+val policy_to_string : policy -> string
+
+(** Classify a child launch from its configuration expressions. *)
+val classify :
+  grid:Dpc_kir.Ast.expr -> block:Dpc_kir.Ast.expr -> child_shape
+
+(** Block size of the consolidated kernel: the pragma's [threads] clause,
+    else a static solo-block child's own block size, else 256. *)
+val select_threads :
+  pragma:Dpc_kir.Pragma.t -> shape:child_shape -> int
+
+(** Configuration expressions [(grid, block)] for the consolidated launch.
+    [cnt] is the expression reading the buffered-item count (used by
+    [One_to_one], clamped to hardware limits). *)
+val select :
+  Dpc_gpu.Config.t ->
+  policy:policy ->
+  pragma:Dpc_kir.Pragma.t ->
+  shape:child_shape ->
+  cnt:Dpc_kir.Ast.expr ->
+  Dpc_kir.Ast.expr * Dpc_kir.Ast.expr

@@ -1,0 +1,73 @@
+(** Figure 5: performance of the three consolidation-buffer allocators
+    (CUDA default malloc, halloc, pre-allocated pool) on SSSP, at every
+    consolidation granularity, normalized to basic-dp.
+
+    Paper's findings to reproduce: default and halloc are close to each
+    other; at warp level they are far worse than the pool (frequent small
+    allocations); at block level the pool is ~5.7x ahead of them; at grid
+    level (one buffer) all three are equivalent. *)
+
+module H = Dpc_apps.Harness
+module M = Dpc_sim.Metrics
+module Alloc = Dpc_alloc.Allocator
+module Pragma = Dpc_kir.Pragma
+module Table = Dpc_util.Table
+
+type result = {
+  basic_cycles : float;
+  flat_speedup : float;
+  (* (granularity, allocator) -> speedup over basic *)
+  cells : ((Pragma.granularity * Alloc.kind) * float) list;
+}
+
+let granularities = [ Pragma.Warp; Pragma.Block; Pragma.Grid ]
+let allocators = [ Alloc.Default; Alloc.Halloc; Alloc.Pool ]
+
+let run ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) () : result =
+  let log fmt =
+    Printf.ksprintf (fun s -> if verbose then Printf.eprintf "[fig5] %s\n%!" s) fmt
+  in
+  log "SSSP basic-dp...";
+  let basic = Dpc_apps.Sssp.run ?scale ~cfg H.Basic in
+  log "SSSP no-dp...";
+  let flat = Dpc_apps.Sssp.run ?scale ~cfg H.Flat in
+  let cells =
+    List.concat_map
+      (fun g ->
+        List.map
+          (fun a ->
+            log "SSSP %s / %s..."
+              (Pragma.granularity_to_string g)
+              (Alloc.kind_to_string a);
+            let r = Dpc_apps.Sssp.run ?scale ~cfg ~alloc:a (H.Cons g) in
+            ((g, a), basic.M.cycles /. r.M.cycles))
+          allocators)
+      granularities
+  in
+  {
+    basic_cycles = basic.M.cycles;
+    flat_speedup = basic.M.cycles /. flat.M.cycles;
+    cells;
+  }
+
+let to_table (r : result) =
+  let t =
+    Table.create ~title:"Figure 5: buffer allocators on SSSP (speedup over basic-dp)"
+      ~headers:[ "allocator"; "warp-level"; "block-level"; "grid-level" ]
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ] ()
+  in
+  List.iter
+    (fun a ->
+      Table.add_row t
+        (Alloc.kind_to_string a
+        :: List.map
+             (fun g -> Table.fmt_ratio (List.assoc (g, a) r.cells))
+             granularities))
+    allocators;
+  Table.add_row t
+    [ "(no-dp reference)"; Table.fmt_ratio r.flat_speedup;
+      Table.fmt_ratio r.flat_speedup; Table.fmt_ratio r.flat_speedup ];
+  t
+
+let print ?verbose ?scale ?cfg () =
+  Table.print (to_table (run ?verbose ?scale ?cfg ()))

@@ -1,0 +1,52 @@
+(** Shared run collection for the evaluation figures.
+
+    Figures 7-10 all read the same 35 runs (7 apps x 5 variants); this
+    module runs them once and caches the reports.  Every run verifies its
+    output against the CPU reference, so a populated suite doubles as an
+    integration test of the whole stack. *)
+
+module H = Dpc_apps.Harness
+module R = Dpc_apps.Registry
+module M = Dpc_sim.Metrics
+
+type row = {
+  app : string;
+  dataset : string;
+  results : (H.variant * M.report) list;
+}
+
+type t = row list
+
+let variant_order = H.all_variants
+
+let report_of row v = List.assoc v row.results
+
+let basic row = report_of row H.Basic
+
+(** Collect all runs.  [scale] overrides each app's default problem size
+    (interpreted per app); [verbose] logs progress to stderr. *)
+let collect ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) () : t =
+  List.map
+    (fun (e : R.entry) ->
+      let results =
+        List.map
+          (fun v ->
+            if verbose then
+              Printf.eprintf "[suite] %s / %s...\n%!" e.R.name
+                (H.variant_to_string v);
+            (v, e.R.run ?scale ~cfg v))
+          variant_order
+      in
+      { app = e.R.name; dataset = e.R.dataset; results })
+    R.all
+
+let speedup_over_basic row v =
+  (basic row).M.cycles /. (report_of row v).M.cycles
+
+(** Per-variant geometric-mean speedup over basic-dp across all apps. *)
+let mean_speedups (t : t) =
+  List.map
+    (fun v ->
+      (v, Dpc_util.Stats.geomean (List.map (fun row -> speedup_over_basic row v) t)))
+    [ H.Flat; H.Cons Dpc_kir.Pragma.Warp; H.Cons Dpc_kir.Pragma.Block;
+      H.Cons Dpc_kir.Pragma.Grid ]

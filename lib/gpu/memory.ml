@@ -1,0 +1,105 @@
+(** Simulated global (device) memory.
+
+    Global memory is a set of named buffers of 32-bit elements (ints or
+    floats).  Each buffer has a stable byte base address, 128-byte aligned,
+    so the interpreter can compute the DRAM segments touched by a warp
+    access and count memory transactions the way the CUDA profiler does.
+
+    Shared memory is per-block and short-lived; it is modeled separately
+    inside the simulator and never appears here. *)
+
+type data = I of int array | F of float array
+
+type buf = {
+  id : int;
+  name : string;
+  base : int;  (** byte address of element 0 *)
+  data : data;
+}
+
+type t = {
+  bufs : buf Dpc_util.Vec.t;
+  mutable next_base : int;
+  mutable bytes_allocated : int;
+}
+
+let elem_bytes = 4
+
+let dummy_buf = { id = -1; name = "<dummy>"; base = 0; data = I [||] }
+
+let create () =
+  { bufs = Dpc_util.Vec.create ~dummy:dummy_buf;
+    next_base = 0x1000; bytes_allocated = 0 }
+
+let length_of_data = function I a -> Array.length a | F a -> Array.length a
+
+let align_up v a = (v + a - 1) / a * a
+
+let add_buf t name data =
+  let len = length_of_data data in
+  let base = align_up t.next_base 128 in
+  let b = { id = Dpc_util.Vec.length t.bufs; name; base; data } in
+  Dpc_util.Vec.push t.bufs b;
+  t.next_base <- base + (len * elem_bytes);
+  t.bytes_allocated <- t.bytes_allocated + (len * elem_bytes);
+  b
+
+(** Allocate a zero-initialized integer buffer. *)
+let alloc_int t ~name len = add_buf t name (I (Array.make (Int.max 1 len) 0))
+
+(** Allocate a zero-initialized float buffer. *)
+let alloc_float t ~name len =
+  add_buf t name (F (Array.make (Int.max 1 len) 0.0))
+
+let of_int_array t ~name arr = add_buf t name (I (Array.copy arr))
+
+let of_float_array t ~name arr = add_buf t name (F (Array.copy arr))
+
+let get_buf t id =
+  if id < 0 || id >= Dpc_util.Vec.length t.bufs then
+    invalid_arg (Printf.sprintf "Memory.get_buf: bad buffer id %d" id);
+  Dpc_util.Vec.get t.bufs id
+
+let buf_count t = Dpc_util.Vec.length t.bufs
+
+let buf_length b = length_of_data b.data
+
+exception Out_of_bounds of string
+
+let bounds_check b i =
+  if i < 0 || i >= buf_length b then
+    raise
+      (Out_of_bounds
+         (Printf.sprintf "buffer %S (%d elements): index %d" b.name
+            (buf_length b) i))
+
+let read_int b i =
+  bounds_check b i;
+  match b.data with
+  | I a -> a.(i)
+  | F a -> Float.to_int a.(i)
+
+let read_float b i =
+  bounds_check b i;
+  match b.data with F a -> a.(i) | I a -> Float.of_int a.(i)
+
+let write_int b i v =
+  bounds_check b i;
+  match b.data with I a -> a.(i) <- v | F a -> a.(i) <- Float.of_int v
+
+let write_float b i v =
+  bounds_check b i;
+  match b.data with F a -> a.(i) <- v | I a -> a.(i) <- Float.to_int v
+
+(** Byte address of element [i] of buffer [b]; used for coalescing. *)
+let addr b i = b.base + (i * elem_bytes)
+
+let int_contents b =
+  match b.data with
+  | I a -> Array.copy a
+  | F _ -> invalid_arg "Memory.int_contents: float buffer"
+
+let float_contents b =
+  match b.data with
+  | F a -> Array.copy a
+  | I _ -> invalid_arg "Memory.float_contents: int buffer"

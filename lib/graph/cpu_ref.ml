@@ -1,0 +1,94 @@
+(** Sequential reference implementations used to verify every GPU variant
+    (the simulator's results must match these exactly, or within floating
+    tolerance where atomics reorder float additions). *)
+
+let inf = 1_000_000_000
+
+(** Dijkstra with a simple binary-heap-free O(n^2 + m) loop is fine at our
+    scales; weights are small positive ints. *)
+let sssp (g : Csr.t) ~src =
+  let dist = Array.make g.n inf in
+  dist.(src) <- 0;
+  let visited = Array.make g.n false in
+  let rec loop () =
+    let u = ref (-1) and best = ref inf in
+    for v = 0 to g.n - 1 do
+      if (not visited.(v)) && dist.(v) < !best then begin
+        u := v;
+        best := dist.(v)
+      end
+    done;
+    if !u >= 0 then begin
+      visited.(!u) <- true;
+      for e = g.row_ptr.(!u) to g.row_ptr.(!u + 1) - 1 do
+        let v = g.col.(e) in
+        let alt = dist.(!u) + g.weights.(e) in
+        if alt < dist.(v) then dist.(v) <- alt
+      done;
+      loop ()
+    end
+  in
+  loop ();
+  dist
+
+(** y = A x for a CSR matrix whose values are [float_of_int weights]. *)
+let spmv (g : Csr.t) (x : float array) =
+  Array.init g.n (fun r ->
+      let acc = ref 0.0 in
+      for e = g.row_ptr.(r) to g.row_ptr.(r + 1) - 1 do
+        acc := !acc +. (Float.of_int g.weights.(e) *. x.(g.col.(e)))
+      done;
+      !acc)
+
+(** Push-style PageRank, [iters] synchronous iterations with damping [d];
+    matches the GPU schedule exactly (modulo float addition order). *)
+let pagerank (g : Csr.t) ~iters ~d =
+  let n = g.n in
+  let pr = Array.make n (1.0 /. Float.of_int n) in
+  let next = Array.make n 0.0 in
+  for _ = 1 to iters do
+    Array.fill next 0 n ((1.0 -. d) /. Float.of_int n);
+    for v = 0 to n - 1 do
+      let deg = Csr.degree g v in
+      if deg > 0 then begin
+        let share = d *. pr.(v) /. Float.of_int deg in
+        for e = g.row_ptr.(v) to g.row_ptr.(v + 1) - 1 do
+          next.(g.col.(e)) <- next.(g.col.(e)) +. share
+        done
+      end
+    done;
+    Array.blit next 0 pr 0 n
+  done;
+  pr
+
+(** BFS levels over the out-edges; unreachable nodes keep [inf]. *)
+let bfs_levels (g : Csr.t) ~src =
+  let levels = Array.make g.n inf in
+  levels.(src) <- 0;
+  let q = Queue.create () in
+  Queue.push src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    for e = g.row_ptr.(u) to g.row_ptr.(u + 1) - 1 do
+      let v = g.col.(e) in
+      if levels.(v) = inf then begin
+        levels.(v) <- levels.(u) + 1;
+        Queue.push v q
+      end
+    done
+  done;
+  levels
+
+(** Validity check for a graph coloring over the UNDIRECTED closure of g
+    (the GPU kernels treat an out-edge as a conflict in both directions):
+    every node colored (>= 0) and no edge monochromatic. *)
+let valid_coloring (g : Csr.t) (colors : int array) =
+  let ok = ref true in
+  for v = 0 to g.n - 1 do
+    if colors.(v) < 0 then ok := false;
+    for e = g.row_ptr.(v) to g.row_ptr.(v + 1) - 1 do
+      let u = g.col.(e) in
+      if u <> v && colors.(u) = colors.(v) then ok := false
+    done
+  done;
+  !ok

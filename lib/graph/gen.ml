@@ -1,0 +1,106 @@
+(** Synthetic graph generators standing in for the paper's datasets
+    (DESIGN.md, substitution table).
+
+    - {!citeseer_like}: a citation-network stand-in for CiteSeer (DIMACS):
+      power-law out-degrees in [1, 1199] with mean ≈ 74, scaled to [n]
+      nodes.  The degree skew is what drives warp divergence and the
+      child-launch counts, so it is the property we match.
+    - {!kron_like}: an R-MAT/Kronecker generator for Kron_log16: 2^scale
+      nodes, heavy-tailed degrees with a hub out-degree orders of magnitude
+      above the average.
+
+    All generators are deterministic in [seed]. *)
+
+module Rng = Dpc_util.Rng
+
+(* Sample a CiteSeer-ish out-degree: power law over [1,1199] whose mean is
+   pulled toward ~74 by mixing a light head with a heavy tail. *)
+let citeseer_degree rng ~max_degree =
+  let d = Rng.power_law rng ~lo:1 ~hi:max_degree ~alpha:1.45 in
+  Int.min max_degree d
+
+let citeseer_like ~n ~seed : Csr.t =
+  if n < 2 then invalid_arg "Gen.citeseer_like: need at least 2 nodes";
+  let rng = Rng.create seed in
+  let max_degree = Int.min 1199 (n - 1) in
+  let adj = Array.make n [] in
+  let weights = Array.make n [] in
+  for v = 0 to n - 1 do
+    let d = citeseer_degree rng ~max_degree in
+    let targets = ref [] and ws = ref [] in
+    for _ = 1 to d do
+      (* Preferential-ish attachment: half the edges go to low ids (hubs),
+         half uniformly. *)
+      let u =
+        if Rng.bool rng then Rng.int rng (Int.max 1 (n / 16))
+        else Rng.int rng n
+      in
+      let u = if u = v then (u + 1) mod n else u in
+      targets := u :: !targets;
+      ws := Rng.int_in rng 1 10 :: !ws
+    done;
+    adj.(v) <- !targets;
+    weights.(v) <- !ws
+  done;
+  let g = Csr.of_adjacency ~weights adj in
+  Csr.validate g;
+  g
+
+(* R-MAT edge placement: recursively descend the adjacency matrix with
+   quadrant probabilities (a, b, c, d). *)
+let rmat_edge rng ~scale =
+  let a = 0.57 and b = 0.19 and c = 0.19 in
+  let src = ref 0 and dst = ref 0 in
+  for _ = 1 to scale do
+    let r = Rng.float rng in
+    let qi, qj =
+      if r < a then (0, 0)
+      else if r < a +. b then (0, 1)
+      else if r < a +. b +. c then (1, 0)
+      else (1, 1)
+    in
+    src := (!src * 2) + qi;
+    dst := (!dst * 2) + qj
+  done;
+  (!src, !dst)
+
+let kron_like ~scale ~edge_factor ~seed : Csr.t =
+  if scale < 2 || scale > 24 then invalid_arg "Gen.kron_like: scale in [2,24]";
+  let n = 1 lsl scale in
+  let m = n * edge_factor in
+  let rng = Rng.create seed in
+  let adj = Array.make n [] in
+  let weights = Array.make n [] in
+  for _ = 1 to m do
+    let src, dst = rmat_edge rng ~scale in
+    let dst = if dst = src then (dst + 1) mod n else dst in
+    adj.(src) <- dst :: adj.(src);
+    weights.(src) <- Rng.int_in rng 1 10 :: weights.(src)
+  done;
+  (* Kron graphs leave some nodes isolated; give every node one edge so
+     all benchmarks touch the whole id space (matches the connected core
+     the paper's codes traverse). *)
+  for v = 0 to n - 1 do
+    if adj.(v) = [] then begin
+      adj.(v) <- [ Rng.int rng n ];
+      weights.(v) <- [ Rng.int_in rng 1 10 ]
+    end
+  done;
+  let g = Csr.of_adjacency ~weights adj in
+  Csr.validate g;
+  g
+
+(** A ragged matrix/graph with uniformly random degrees in [lo, hi] — used
+    by tests and microbenchmarks. *)
+let uniform_random ~n ~deg_lo ~deg_hi ~seed : Csr.t =
+  let rng = Rng.create seed in
+  let adj =
+    Array.init n (fun v ->
+        let d = Rng.int_in rng deg_lo deg_hi in
+        List.init d (fun _ ->
+            let u = Rng.int rng n in
+            if u = v then (u + 1) mod n else u))
+  in
+  let g = Csr.of_adjacency adj in
+  Csr.validate g;
+  g

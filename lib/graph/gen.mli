@@ -1,0 +1,16 @@
+(** Synthetic graph generators standing in for the paper's datasets (see
+    DESIGN.md, substitution table).  All are deterministic in [seed]. *)
+
+(** CiteSeer stand-in: power-law out-degrees with a heavy tail (up to
+    1199, as in the DIMACS CiteSeer graph), preferential-attachment-style
+    targets, edge weights in [1, 10].  Every node has out-degree ≥ 1. *)
+val citeseer_like : n:int -> seed:int -> Csr.t
+
+(** Kron_log16 stand-in: an R-MAT generator with the usual (0.57, 0.19,
+    0.19, 0.05) quadrant probabilities over [2^scale] nodes and
+    [edge_factor] edges per node; isolated nodes receive one random edge. *)
+val kron_like : scale:int -> edge_factor:int -> seed:int -> Csr.t
+
+(** Ragged matrix with uniform degrees in [\[deg_lo, deg_hi\]] (tests and
+    microbenchmarks). *)
+val uniform_random : n:int -> deg_lo:int -> deg_hi:int -> seed:int -> Csr.t

@@ -1,0 +1,250 @@
+(** Abstract syntax of the kernel IR.
+
+    The IR models the CUDA subset needed by the paper's basic-DP template
+    (Fig. 1): 1-D grids of 1-D blocks, global- and shared-memory accesses,
+    atomics, intra-block synchronization, device-side kernel launches,
+    device-side synchronization, device heap allocation, and the custom
+    grid-wide barrier of Section IV.E.
+
+    Variable occurrences carry a mutable [slot]; {!Kernel.finalize} resolves
+    every occurrence to a dense frame index so the interpreter never hashes
+    names.  Transformations that move subtrees between kernels must
+    deep-copy them ({!copy_stmt}) so slot resolution cannot alias. *)
+
+type ty = Tint | Tfloat | Tptr_int | Tptr_float
+
+type var = { name : string; mutable slot : int }
+
+let var name = { name; slot = -1 }
+
+type special =
+  | Thread_idx  (** threadIdx.x *)
+  | Block_idx  (** blockIdx.x *)
+  | Block_dim  (** blockDim.x *)
+  | Grid_dim  (** gridDim.x *)
+  | Lane_id  (** threadIdx.x mod warpSize *)
+  | Warp_id  (** threadIdx.x / warpSize, within the block *)
+  | Warp_size
+
+type unop = Neg | Not | To_float | To_int
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Min | Max
+  | And | Or
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Shl | Shr | Bit_and | Bit_or | Bit_xor
+
+type atomic_op = Aadd | Amin | Amax | Aexch | Acas
+
+type expr =
+  | Const of Value.t
+  | Var of var
+  | Special of special
+  | Unop of unop * expr
+  | Binop of binop * expr * expr
+  | Load of expr * expr  (** global load: buffer expression, index *)
+  | Shared_load of string * expr
+  | Buf_len of expr  (** element count of a buffer *)
+
+(** Scope at which a device-heap allocation is performed (one buffer per
+    warp / per block / per grid); the paper's consolidation buffers. *)
+type alloc_scope = Per_warp | Per_block | Per_grid
+
+type stmt =
+  | Let of var * expr
+  | Store of expr * expr * expr  (** buffer, index, value *)
+  | Shared_store of string * expr * expr
+  | If of expr * stmt list * stmt list
+  | While of expr * stmt list
+  | For of var * expr * expr * stmt list
+      (** [For (v, lo, hi, body)]: v from lo while v < hi, step 1 *)
+  | Syncthreads
+  | Device_sync
+      (** cudaDeviceSynchronize: the block waits for children it launched *)
+  | Atomic of {
+      op : atomic_op;
+      buf : expr;
+      idx : expr;
+      operand : expr;
+      compare : expr option;  (** for CAS *)
+      old : var option;  (** binds the pre-update value *)
+    }
+  | Launch of launch
+  | Malloc of {
+      dst : var;
+      count : expr;
+      scope : alloc_scope;
+      mutable site : int;  (** unique id, set by {!Kernel.finalize} *)
+    }  (** device-heap allocation of an int buffer, serviced by the
+           allocator selected for the run *)
+  | Free of expr
+      (** release a [Malloc]ed buffer back to the allocator (cost only;
+          simulated buffers are reclaimed by the GC) *)
+  | Grid_barrier
+      (** custom global barrier (Section IV.E): every block arrives; all
+          blocks except the last to arrive exit the kernel; the last block
+          continues, and only after every block has arrived *)
+  | Return  (** this thread exits the kernel *)
+
+and launch = {
+  callee : string;
+  grid : expr;
+  block : expr;
+  args : expr list;
+  pragma : Pragma.t option;  (** [#pragma dp] annotation, if any *)
+}
+
+type param = { pname : string; ptype : ty; pvar : var }
+
+let param ?(ty = Tint) name = { pname = name; ptype = ty; pvar = var name }
+
+(* ------------------------------------------------------------------ *)
+(* Deep copy: fresh [var] cells so slots resolve independently.        *)
+(* ------------------------------------------------------------------ *)
+
+let rec copy_expr (e : expr) : expr =
+  match e with
+  | Const v -> Const v
+  | Var v -> Var (var v.name)
+  | Special s -> Special s
+  | Unop (op, a) -> Unop (op, copy_expr a)
+  | Binop (op, a, b) -> Binop (op, copy_expr a, copy_expr b)
+  | Load (b, i) -> Load (copy_expr b, copy_expr i)
+  | Shared_load (n, i) -> Shared_load (n, copy_expr i)
+  | Buf_len b -> Buf_len (copy_expr b)
+
+let rec copy_stmt (s : stmt) : stmt =
+  match s with
+  | Let (v, e) -> Let (var v.name, copy_expr e)
+  | Store (b, i, x) -> Store (copy_expr b, copy_expr i, copy_expr x)
+  | Shared_store (n, i, x) -> Shared_store (n, copy_expr i, copy_expr x)
+  | If (c, t, f) -> If (copy_expr c, copy_block t, copy_block f)
+  | While (c, b) -> While (copy_expr c, copy_block b)
+  | For (v, lo, hi, b) -> For (var v.name, copy_expr lo, copy_expr hi, copy_block b)
+  | Syncthreads -> Syncthreads
+  | Device_sync -> Device_sync
+  | Atomic { op; buf; idx; operand; compare; old } ->
+    Atomic
+      {
+        op;
+        buf = copy_expr buf;
+        idx = copy_expr idx;
+        operand = copy_expr operand;
+        compare = Option.map copy_expr compare;
+        old = Option.map (fun (v : var) -> var v.name) old;
+      }
+  | Launch l ->
+    Launch
+      {
+        l with
+        grid = copy_expr l.grid;
+        block = copy_expr l.block;
+        args = List.map copy_expr l.args;
+      }
+  | Malloc { dst; count; scope; site = _ } ->
+    Malloc { dst = var dst.name; count = copy_expr count; scope; site = -1 }
+  | Free e -> Free (copy_expr e)
+  | Grid_barrier -> Grid_barrier
+  | Return -> Return
+
+and copy_block b = List.map copy_stmt b
+
+(* ------------------------------------------------------------------ *)
+(* Traversals used by analyses (variable collection, launch listing).  *)
+(* ------------------------------------------------------------------ *)
+
+let rec iter_expr f (e : expr) =
+  f e;
+  match e with
+  | Const _ | Var _ | Special _ -> ()
+  | Unop (_, a) | Shared_load (_, a) | Buf_len a -> iter_expr f a
+  | Binop (_, a, b) | Load (a, b) ->
+    iter_expr f a;
+    iter_expr f b
+
+let rec iter_stmt ~on_stmt ~on_expr (s : stmt) =
+  on_stmt s;
+  let e = iter_expr on_expr in
+  match s with
+  | Let (_, x) -> e x
+  | Store (a, b, c) -> e a; e b; e c
+  | Shared_store (_, b, c) -> e b; e c
+  | If (c, t, f) ->
+    e c;
+    List.iter (iter_stmt ~on_stmt ~on_expr) t;
+    List.iter (iter_stmt ~on_stmt ~on_expr) f
+  | While (c, b) ->
+    e c;
+    List.iter (iter_stmt ~on_stmt ~on_expr) b
+  | For (_, lo, hi, b) ->
+    e lo; e hi;
+    List.iter (iter_stmt ~on_stmt ~on_expr) b
+  | Syncthreads | Device_sync | Grid_barrier | Return -> ()
+  | Atomic { buf; idx; operand; compare; _ } ->
+    e buf; e idx; e operand;
+    Option.iter e compare
+  | Launch l ->
+    e l.grid; e l.block;
+    List.iter e l.args
+  | Malloc { count; _ } -> e count
+  | Free x -> e x
+
+let iter_block ~on_stmt ~on_expr b = List.iter (iter_stmt ~on_stmt ~on_expr) b
+
+(** All variables defined or used in a block, in first-occurrence order. *)
+let collect_vars (params : param list) (body : stmt list) : var list list =
+  (* Returns, for each distinct name, the list of [var] cells bearing it. *)
+  let tbl : (string, var list ref) Hashtbl.t = Hashtbl.create 64 in
+  let order : string list ref = ref [] in
+  let note (v : var) =
+    match Hashtbl.find_opt tbl v.name with
+    | Some cell -> cell := v :: !cell
+    | None ->
+      Hashtbl.add tbl v.name (ref [ v ]);
+      order := v.name :: !order
+  in
+  List.iter (fun p -> note p.pvar) params;
+  iter_block body
+    ~on_stmt:(fun s ->
+      match s with
+      | Let (v, _) | For (v, _, _, _) -> note v
+      | Atomic { old = Some v; _ } -> note v
+      | Malloc { dst; _ } -> note dst
+      | _ -> ())
+    ~on_expr:(fun e -> match e with Var v -> note v | _ -> ());
+  List.rev_map (fun name -> List.rev !(Hashtbl.find tbl name)) !order
+
+(** Does a block (transitively) contain [Syncthreads]?  Such subtrees must
+    execute block-uniformly. *)
+let rec has_syncthreads_block b = List.exists has_syncthreads b
+
+and has_syncthreads = function
+  | Syncthreads -> true
+  | If (_, t, f) -> has_syncthreads_block t || has_syncthreads_block f
+  | While (_, b) | For (_, _, _, b) -> has_syncthreads_block b
+  | Let _ | Store _ | Shared_store _ | Device_sync | Atomic _ | Launch _
+  | Malloc _ | Free _ | Grid_barrier | Return ->
+    false
+
+(** Must a statement be executed block-uniformly (all warps in lockstep at
+    the statement level)?  True for [Syncthreads] and [Grid_barrier] and
+    for control flow containing them; the interpreter checks that the
+    conditions of such control flow are uniform across the block, which is
+    the same legality rule CUDA imposes on [__syncthreads]. *)
+let rec needs_block_uniform = function
+  | Syncthreads | Grid_barrier -> true
+  | If (_, t, f) ->
+    List.exists needs_block_uniform t || List.exists needs_block_uniform f
+  | While (_, b) | For (_, _, _, b) -> List.exists needs_block_uniform b
+  | Let _ | Store _ | Shared_store _ | Device_sync | Atomic _ | Launch _
+  | Malloc _ | Free _ | Return ->
+    false
+
+(** All [Launch] nodes in a block, in syntactic order. *)
+let collect_launches body =
+  let acc = ref [] in
+  iter_block body
+    ~on_stmt:(fun s -> match s with Launch l -> acc := l :: !acc | _ -> ())
+    ~on_expr:(fun _ -> ());
+  List.rev !acc

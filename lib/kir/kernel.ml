@@ -1,0 +1,84 @@
+(** Kernels and programs.
+
+    A kernel owns its parameter list, shared-memory declarations and body.
+    [finalize] resolves every variable occurrence to a dense frame slot
+    (the interpreter indexes per-lane frames by slot, never by name) and
+    numbers [Malloc] sites so per-grid allocations can be memoized. *)
+
+type t = {
+  kname : string;
+  params : Ast.param list;
+  shared : (string * int) list;  (** shared arrays: name, element count *)
+  body : Ast.stmt list;
+  mutable nslots : int;  (** -1 until finalized *)
+  mutable nsites : int;  (** number of Malloc sites; -1 until finalized *)
+}
+
+exception Invalid_kernel of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_kernel s)) fmt
+
+let make ~name ?(params = []) ?(shared = []) body =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Ast.param) ->
+      if Hashtbl.mem seen p.pname then
+        invalid "kernel %s: duplicate parameter %s" name p.pname;
+      Hashtbl.add seen p.pname ())
+    params;
+  { kname = name; params; shared; body; nslots = -1; nsites = -1 }
+
+(** Resolve variable slots and number allocation sites.  Idempotent; must
+    be called (via {!Program.finalize}) before interpretation. *)
+let finalize (k : t) =
+  let groups = Ast.collect_vars k.params k.body in
+  List.iteri
+    (fun slot cells -> List.iter (fun (v : Ast.var) -> v.slot <- slot) cells)
+    groups;
+  k.nslots <- List.length groups;
+  let site = ref 0 in
+  Ast.iter_block k.body
+    ~on_stmt:(fun s ->
+      match s with
+      | Ast.Malloc m ->
+        m.site <- !site;
+        incr site
+      | _ -> ())
+    ~on_expr:(fun _ -> ());
+  k.nsites <- !site
+
+let is_finalized k = k.nslots >= 0
+
+let param_slots (k : t) =
+  if not (is_finalized k) then invalid "kernel %s: not finalized" k.kname;
+  List.map (fun (p : Ast.param) -> p.pvar.slot) k.params
+
+type kernel = t
+
+(** A program is a set of kernels addressable by name (device-side launches
+    resolve callees here). *)
+module Program = struct
+  type t = { kernels : (string, kernel) Hashtbl.t }
+
+  let create () = { kernels = Hashtbl.create 16 }
+
+  let add p (k : kernel) =
+    if Hashtbl.mem p.kernels k.kname then
+      invalid "program already contains kernel %s" k.kname;
+    Hashtbl.replace p.kernels k.kname k
+
+  let find p name =
+    match Hashtbl.find_opt p.kernels name with
+    | Some k -> k
+    | None -> invalid "no kernel named %s" name
+
+  let find_opt p name = Hashtbl.find_opt p.kernels name
+
+  let mem p name = Hashtbl.mem p.kernels name
+
+  let kernels p =
+    Hashtbl.fold (fun _ k acc -> k :: acc) p.kernels []
+    |> List.sort (fun a b -> String.compare a.kname b.kname)
+
+  let finalize p = Hashtbl.iter (fun _ k -> finalize k) p.kernels
+end

@@ -1,0 +1,178 @@
+(** Pretty-printer from the kernel IR to MiniCU source.
+
+    MiniCU is this project's CUDA-lite concrete syntax (see
+    [lib/minicu]): the printer and the parser round-trip, which is what
+    makes the consolidation compiler genuinely source-to-source. *)
+
+open Ast
+
+let special_to_string = function
+  | Thread_idx -> "threadIdx.x"
+  | Block_idx -> "blockIdx.x"
+  | Block_dim -> "blockDim.x"
+  | Grid_dim -> "gridDim.x"
+  | Lane_id -> "laneId"
+  | Warp_id -> "warpId"
+  | Warp_size -> "warpSize"
+
+let binop_info = function
+  | Mul -> ("*", 10) | Div -> ("/", 10) | Mod -> ("%", 10)
+  | Add -> ("+", 9) | Sub -> ("-", 9)
+  | Shl -> ("<<", 8) | Shr -> (">>", 8)
+  | Lt -> ("<", 7) | Le -> ("<=", 7) | Gt -> (">", 7) | Ge -> (">=", 7)
+  | Eq -> ("==", 6) | Ne -> ("!=", 6)
+  | Bit_and -> ("&", 5)
+  | Bit_xor -> ("^", 4)
+  | Bit_or -> ("|", 3)
+  | And -> ("&&", 2)
+  | Or -> ("||", 1)
+  | Min -> ("min", 11)  (* rendered as a call *)
+  | Max -> ("max", 11)
+
+let rec expr_prec (e : expr) : string * int =
+  match e with
+  | Const (Value.Vint n) ->
+    if n < 0 then (Printf.sprintf "(%d)" n, 11) else (string_of_int n, 12)
+  | Const (Value.Vfloat x) -> (Printf.sprintf "%hf" x, 12)
+  | Const (Value.Vbuf b) -> (Printf.sprintf "__buf(%d)" b, 12)
+  | Var v -> (v.name, 12)
+  | Special s -> (special_to_string s, 12)
+  | Unop (Neg, a) -> (Printf.sprintf "-%s" (atom a), 11)
+  | Unop (Not, a) -> (Printf.sprintf "!%s" (atom a), 11)
+  | Unop (To_float, a) -> (Printf.sprintf "(float)%s" (atom a), 11)
+  | Unop (To_int, a) -> (Printf.sprintf "(int)%s" (atom a), 11)
+  | Binop (((Min | Max) as op), a, b) ->
+    let name = match op with Min -> "min" | _ -> "max" in
+    (Printf.sprintf "%s(%s, %s)" name (expr a) (expr b), 12)
+  | Binop (op, a, b) ->
+    let sym, prec = binop_info op in
+    let pa = at_least prec a and pb = at_least (prec + 1) b in
+    (Printf.sprintf "%s %s %s" pa sym pb, prec)
+  | Load (b, i) -> (Printf.sprintf "%s[%s]" (atom b) (expr i), 12)
+  | Shared_load (n, i) -> (Printf.sprintf "%s[%s]" n (expr i), 12)
+  | Buf_len b -> (Printf.sprintf "__len(%s)" (expr b), 12)
+
+and expr e = fst (expr_prec e)
+
+and at_least prec e =
+  let s, p = expr_prec e in
+  if p < prec then "(" ^ s ^ ")" else s
+
+and atom e = at_least 12 e
+
+let atomic_name = function
+  | Aadd -> "atomicAdd"
+  | Amin -> "atomicMin"
+  | Amax -> "atomicMax"
+  | Aexch -> "atomicExch"
+  | Acas -> "atomicCAS"
+
+let scope_suffix = function
+  | Per_warp -> "warp"
+  | Per_block -> "block"
+  | Per_grid -> "grid"
+
+(* Declared-variable tracking: the first assignment of a name prints as a
+   [var] declaration, later ones as plain assignments. *)
+type ctx = { buf : Buffer.t; mutable declared : string list }
+
+let declare ctx name =
+  if List.mem name ctx.declared then false
+  else begin
+    ctx.declared <- name :: ctx.declared;
+    true
+  end
+
+let add ctx indent fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string ctx.buf (String.make indent ' ');
+      Buffer.add_string ctx.buf s;
+      Buffer.add_char ctx.buf '\n')
+    fmt
+
+let lhs ctx (v : var) =
+  if declare ctx v.name then "var " ^ v.name else v.name
+
+let rec stmt ctx indent (s : Ast.stmt) =
+  match s with
+  | Let (v, e) -> add ctx indent "%s = %s;" (lhs ctx v) (expr e)
+  | Store (b, i, x) -> add ctx indent "%s[%s] = %s;" (atom b) (expr i) (expr x)
+  | Shared_store (n, i, x) -> add ctx indent "%s[%s] = %s;" n (expr i) (expr x)
+  | If (c, t, []) ->
+    add ctx indent "if (%s) {" (expr c);
+    block ctx (indent + 2) t;
+    add ctx indent "}"
+  | If (c, t, f) ->
+    add ctx indent "if (%s) {" (expr c);
+    block ctx (indent + 2) t;
+    add ctx indent "} else {";
+    block ctx (indent + 2) f;
+    add ctx indent "}"
+  | While (c, b) ->
+    add ctx indent "while (%s) {" (expr c);
+    block ctx (indent + 2) b;
+    add ctx indent "}"
+  | For (v, lo, hi, b) ->
+    let decl = if declare ctx v.name then "var " else "" in
+    add ctx indent "for (%s%s = %s; %s < %s; %s = %s + 1) {" decl v.name
+      (expr lo) v.name (expr hi) v.name v.name;
+    block ctx (indent + 2) b;
+    add ctx indent "}"
+  | Syncthreads -> add ctx indent "__syncthreads();"
+  | Device_sync -> add ctx indent "cudaDeviceSynchronize();"
+  | Grid_barrier -> add ctx indent "__dp_global_barrier();"
+  | Return -> add ctx indent "return;"
+  | Atomic { op; buf; idx; operand; compare; old } ->
+    let call =
+      match compare with
+      | Some c ->
+        Printf.sprintf "%s(%s, %s, %s, %s)" (atomic_name op) (atom buf)
+          (expr idx) (expr c) (expr operand)
+      | None ->
+        Printf.sprintf "%s(%s, %s, %s)" (atomic_name op) (atom buf) (expr idx)
+          (expr operand)
+    in
+    (match old with
+    | Some v -> add ctx indent "%s = %s;" (lhs ctx v) call
+    | None -> add ctx indent "%s;" call)
+  | Launch l ->
+    Option.iter (fun p -> add ctx indent "%s" (Pragma.to_string p)) l.pragma;
+    add ctx indent "launch %s<<<%s, %s>>>(%s);" l.callee (expr l.grid)
+      (expr l.block)
+      (String.concat ", " (List.map expr l.args))
+  | Malloc { dst; count; scope; _ } ->
+    add ctx indent "%s = __dp_malloc_%s(%s);" (lhs ctx dst)
+      (scope_suffix scope) (expr count)
+  | Free e -> add ctx indent "__dp_free(%s);" (expr e)
+
+and block ctx indent b = List.iter (stmt ctx indent) b
+
+let ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tptr_int -> "int*"
+  | Tptr_float -> "float*"
+
+let kernel (k : Kernel.t) =
+  let ctx = { buf = Buffer.create 512; declared = [] } in
+  List.iter (fun (p : param) -> ignore (declare ctx p.pname)) k.params;
+  let params =
+    String.concat ", "
+      (List.map
+         (fun (p : param) ->
+           Printf.sprintf "%s %s" (ty_to_string p.ptype) p.pname)
+         k.params)
+  in
+  add ctx 0 "__global__ void %s(%s) {" k.kname params;
+  List.iter
+    (fun (name, size) ->
+      ignore (declare ctx name);
+      add ctx 2 "__shared__ int %s[%d];" name size)
+    k.shared;
+  block ctx 2 k.body;
+  add ctx 0 "}";
+  Buffer.contents ctx.buf
+
+let program (p : Kernel.Program.t) =
+  String.concat "\n" (List.map kernel (Kernel.Program.kernels p))

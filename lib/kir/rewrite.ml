@@ -1,0 +1,142 @@
+(** Deep-copying AST rewriter with hooks.
+
+    The consolidation transforms are expressed as rewrites: substitute
+    special registers (e.g. [blockIdx.x -> 0] when inlining a solo-block
+    child), replace launch statements with buffer insertions, or drop
+    statements.  The rewriter always returns fresh [var] cells (like
+    {!Ast.copy_stmt}) so the output can be finalized independently. *)
+
+open Ast
+
+type hooks = {
+  special : special -> expr option;
+      (** replace a special register by an expression *)
+  launch : launch -> stmt list option;
+      (** replace a launch statement (the replacement is NOT rewritten) *)
+  stmt : stmt -> stmt list option;
+      (** replace any other statement before recursion (the replacement is
+          NOT rewritten); applied before the structural walk *)
+}
+
+let no_hooks =
+  { special = (fun _ -> None); launch = (fun _ -> None); stmt = (fun _ -> None) }
+
+let rec rw_expr h (e : expr) : expr =
+  match e with
+  | Const v -> Const v
+  | Var v -> Var (var v.name)
+  | Special s -> (
+    match h.special s with
+    | Some replacement -> copy_expr replacement
+    | None -> Special s)
+  | Unop (op, a) -> Unop (op, rw_expr h a)
+  | Binop (op, a, b) -> Binop (op, rw_expr h a, rw_expr h b)
+  | Load (b, i) -> Load (rw_expr h b, rw_expr h i)
+  | Shared_load (n, i) -> Shared_load (n, rw_expr h i)
+  | Buf_len b -> Buf_len (rw_expr h b)
+
+let rec rw_stmt h (s : stmt) : stmt list =
+  match h.stmt s with
+  | Some replacement -> List.map copy_stmt replacement
+  | None -> (
+    match s with
+    | Let (v, e) -> [ Let (var v.name, rw_expr h e) ]
+    | Store (b, i, x) -> [ Store (rw_expr h b, rw_expr h i, rw_expr h x) ]
+    | Shared_store (n, i, x) -> [ Shared_store (n, rw_expr h i, rw_expr h x) ]
+    | If (c, t, f) -> [ If (rw_expr h c, rw_block h t, rw_block h f) ]
+    | While (c, b) -> [ While (rw_expr h c, rw_block h b) ]
+    | For (v, lo, hi, b) ->
+      [ For (var v.name, rw_expr h lo, rw_expr h hi, rw_block h b) ]
+    | Syncthreads -> [ Syncthreads ]
+    | Device_sync -> [ Device_sync ]
+    | Grid_barrier -> [ Grid_barrier ]
+    | Return -> [ Return ]
+    | Atomic { op; buf; idx; operand; compare; old } ->
+      [
+        Atomic
+          {
+            op;
+            buf = rw_expr h buf;
+            idx = rw_expr h idx;
+            operand = rw_expr h operand;
+            compare = Option.map (rw_expr h) compare;
+            old = Option.map (fun (v : var) -> var v.name) old;
+          };
+      ]
+    | Launch l -> (
+      match h.launch l with
+      | Some replacement -> List.map copy_stmt replacement
+      | None ->
+        [
+          Launch
+            {
+              l with
+              grid = rw_expr h l.grid;
+              block = rw_expr h l.block;
+              args = List.map (rw_expr h) l.args;
+            };
+        ])
+    | Malloc { dst; count; scope; site = _ } ->
+      [ Malloc { dst = var dst.name; count = rw_expr h count; scope; site = -1 } ]
+    | Free e -> [ Free (rw_expr h e) ])
+
+and rw_block h (b : stmt list) : stmt list = List.concat_map (rw_stmt h) b
+
+(** Substitute special registers throughout a block (deep copy). *)
+let subst_specials mapping block =
+  rw_block { no_hooks with special = mapping } block
+
+(** Variables read by a block before being defined in it, excluding the
+    given bound names.  Used to check the postwork self-containment rule. *)
+let free_reads ~bound (block : stmt list) : string list =
+  let bound = ref bound in
+  let reads = ref [] in
+  let note_read name =
+    if (not (List.mem name !bound)) && not (List.mem name !reads) then
+      reads := name :: !reads
+  in
+  let note_bind name = if not (List.mem name !bound) then bound := name :: !bound in
+  let rec expr = function
+    | Const _ | Special _ -> ()
+    | Var v -> note_read v.name
+    | Unop (_, a) | Shared_load (_, a) | Buf_len a -> expr a
+    | Binop (_, a, b) | Load (a, b) ->
+      expr a;
+      expr b
+  in
+  let rec stmt = function
+    | Let (v, e) ->
+      expr e;
+      note_bind v.name
+    | Store (a, b, c) ->
+      expr a; expr b; expr c
+    | Shared_store (_, b, c) ->
+      expr b; expr c
+    | If (c, t, f) ->
+      expr c;
+      List.iter stmt t;
+      List.iter stmt f
+    | While (c, b) ->
+      expr c;
+      List.iter stmt b
+    | For (v, lo, hi, b) ->
+      expr lo;
+      expr hi;
+      note_bind v.name;
+      List.iter stmt b
+    | Syncthreads | Device_sync | Grid_barrier | Return -> ()
+    | Atomic { buf; idx; operand; compare; old; _ } ->
+      expr buf; expr idx; expr operand;
+      Option.iter expr compare;
+      Option.iter (fun (v : var) -> note_bind v.name) old
+    | Launch l ->
+      expr l.grid;
+      expr l.block;
+      List.iter expr l.args
+    | Malloc { dst; count; _ } ->
+      expr count;
+      note_bind dst.name
+    | Free e -> expr e
+  in
+  List.iter stmt block;
+  List.rev !reads

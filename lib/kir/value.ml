@@ -1,0 +1,44 @@
+(** Runtime values of the kernel IR.
+
+    The IR is dynamically typed, like the simulator of a C dialect should
+    be: scalars are 32-bit-ish ints and floats, and pointers are handles to
+    simulated global-memory buffers ({!Dpc_gpu.Memory.buf} ids).  Arithmetic
+    follows C promotion: an operation touching a float yields a float. *)
+
+type t =
+  | Vint of int
+  | Vfloat of float
+  | Vbuf of int  (** global-memory buffer handle *)
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let to_string = function
+  | Vint i -> string_of_int i
+  | Vfloat f -> Printf.sprintf "%gf" f
+  | Vbuf b -> Printf.sprintf "<buf:%d>" b
+
+let as_int = function
+  | Vint i -> i
+  | Vfloat f -> Float.to_int f
+  | Vbuf _ as v -> type_error "expected int, got %s" (to_string v)
+
+let as_float = function
+  | Vfloat f -> f
+  | Vint i -> Float.of_int i
+  | Vbuf _ as v -> type_error "expected float, got %s" (to_string v)
+
+let as_buf = function
+  | Vbuf b -> b
+  | v -> type_error "expected buffer, got %s" (to_string v)
+
+(** C truthiness: zero is false, everything else is true. *)
+let truthy = function
+  | Vint i -> i <> 0
+  | Vfloat f -> f <> 0.0
+  | Vbuf _ as v -> type_error "buffer used as condition (%s)" (to_string v)
+
+let of_bool b = Vint (if b then 1 else 0)
+
+let is_float = function Vfloat _ -> true | Vint _ | Vbuf _ -> false

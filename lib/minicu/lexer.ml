@@ -1,0 +1,182 @@
+(** Hand-written lexer for MiniCU.
+
+    Handles [//] and [/* */] comments, decimal and hexadecimal (C99 [%a])
+    float literals with an optional [f] suffix, the CUDA launch brackets
+    [<<<] / [>>>], and [#pragma] lines (captured whole, parsed later by
+    {!Pragma_parser}). *)
+
+exception Lex_error of { line : int; msg : string }
+
+let error line fmt =
+  Printf.ksprintf (fun msg -> raise (Lex_error { line; msg })) fmt
+
+type lexed = { tok : Token.t; line : int }
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize (src : string) : lexed list =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 in
+  let emit tok = toks := { tok; line = !line } :: !toks in
+  let i = ref 0 in
+  let peek k = if !i + k < n then src.[!i + k] else '\000' in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\n' then begin
+      incr line;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr i
+    else if c = '/' && peek 1 = '/' then begin
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '/' && peek 1 = '*' then begin
+      i := !i + 2;
+      let closed = ref false in
+      while (not !closed) && !i < n do
+        if src.[!i] = '\n' then incr line;
+        if src.[!i] = '*' && peek 1 = '/' then begin
+          closed := true;
+          i := !i + 2
+        end
+        else incr i
+      done;
+      if not !closed then error !line "unterminated comment"
+    end
+    else if c = '#' then begin
+      (* #pragma line: capture the rest of the line verbatim. *)
+      let start = !i in
+      while !i < n && src.[!i] <> '\n' do
+        incr i
+      done;
+      let text = String.sub src start (!i - start) in
+      let prefix = "#pragma" in
+      if
+        String.length text >= String.length prefix
+        && String.sub text 0 (String.length prefix) = prefix
+      then
+        emit
+          (Token.Pragma
+             (String.trim
+                (String.sub text (String.length prefix)
+                   (String.length text - String.length prefix))))
+      else error !line "unknown preprocessor directive: %s" text
+    end
+    else if is_ident_start c then begin
+      let start = !i in
+      while !i < n && is_ident src.[!i] do
+        incr i
+      done;
+      emit (Token.Ident (String.sub src start (!i - start)))
+    end
+    else if is_digit c then begin
+      let start = !i in
+      let is_hex_lit = c = '0' && (peek 1 = 'x' || peek 1 = 'X') in
+      if is_hex_lit then begin
+        i := !i + 2;
+        while !i < n && (is_hex src.[!i] || src.[!i] = '.') do
+          incr i
+        done;
+        (* Optional binary exponent: p[+-]?digits *)
+        if !i < n && (src.[!i] = 'p' || src.[!i] = 'P') then begin
+          incr i;
+          if !i < n && (src.[!i] = '+' || src.[!i] = '-') then incr i;
+          while !i < n && is_digit src.[!i] do
+            incr i
+          done
+        end
+      end;
+      let seen_dot = ref false and seen_exp = ref false in
+      if not is_hex_lit then
+        while
+          !i < n
+          && (is_digit src.[!i]
+             || (src.[!i] = '.' && not !seen_dot)
+             || ((src.[!i] = 'e' || src.[!i] = 'E') && not !seen_exp)
+             || ((src.[!i] = '+' || src.[!i] = '-')
+                && (src.[!i - 1] = 'e' || src.[!i - 1] = 'E')))
+        do
+          if src.[!i] = '.' then seen_dot := true;
+          if src.[!i] = 'e' || src.[!i] = 'E' then begin
+            seen_exp := true;
+            seen_dot := true
+          end;
+          incr i
+        done;
+      let text = String.sub src start (!i - start) in
+      let has_f_suffix = !i < n && (src.[!i] = 'f' || src.[!i] = 'F') in
+      if has_f_suffix then incr i;
+      let is_float =
+        has_f_suffix
+        || String.contains text '.'
+        || String.contains text 'p'
+        || String.contains text 'P'
+        || ((not is_hex_lit) && (String.contains text 'e' || String.contains text 'E'))
+      in
+      if is_float then
+        match float_of_string_opt text with
+        | Some f -> emit (Token.Float_lit f)
+        | None -> error !line "bad float literal %S" text
+      else (
+        match int_of_string_opt text with
+        | Some v -> emit (Token.Int_lit v)
+        | None -> error !line "bad integer literal %S" text)
+    end
+    else begin
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      let three = if !i + 2 < n then String.sub src !i 3 else "" in
+      let adv k tok =
+        i := !i + k;
+        emit tok
+      in
+      match three with
+      | "<<<" -> adv 3 Token.Triple_lt
+      | ">>>" -> adv 3 Token.Triple_gt
+      | _ -> (
+        match two with
+        | "==" -> adv 2 Token.Eq
+        | "!=" -> adv 2 Token.Ne
+        | "<=" -> adv 2 Token.Le
+        | ">=" -> adv 2 Token.Ge
+        | "&&" -> adv 2 Token.Amp_amp
+        | "||" -> adv 2 Token.Bar_bar
+        | "<<" -> adv 2 Token.Shl
+        | ">>" -> adv 2 Token.Shr
+        | _ -> (
+          match c with
+          | '(' -> adv 1 Token.Lparen
+          | ')' -> adv 1 Token.Rparen
+          | '{' -> adv 1 Token.Lbrace
+          | '}' -> adv 1 Token.Rbrace
+          | '[' -> adv 1 Token.Lbracket
+          | ']' -> adv 1 Token.Rbracket
+          | ',' -> adv 1 Token.Comma
+          | ';' -> adv 1 Token.Semi
+          | ':' -> adv 1 Token.Colon
+          | '.' -> adv 1 Token.Dot
+          | '=' -> adv 1 Token.Assign
+          | '+' -> adv 1 Token.Plus
+          | '-' -> adv 1 Token.Minus
+          | '*' -> adv 1 Token.Star
+          | '/' -> adv 1 Token.Slash
+          | '%' -> adv 1 Token.Percent
+          | '<' -> adv 1 Token.Lt
+          | '>' -> adv 1 Token.Gt
+          | '!' -> adv 1 Token.Bang
+          | '&' -> adv 1 Token.Amp
+          | '|' -> adv 1 Token.Bar
+          | '^' -> adv 1 Token.Caret
+          | _ -> error !line "unexpected character %C" c))
+    end
+  done;
+  emit Token.Eof;
+  List.rev !toks

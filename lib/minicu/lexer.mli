@@ -1,0 +1,21 @@
+(** Hand-written lexer for MiniCU.
+
+    Handles [//] and [/* */] comments, decimal and hexadecimal (C99 [%a])
+    float literals with an optional [f] suffix, the CUDA launch brackets
+    [<<<] / [>>>], and [#pragma] lines (captured whole; parsed later by
+    {!Pragma_parser}). *)
+
+exception Lex_error of { line : int; msg : string }
+
+type lexed = { tok : Token.t; line : int }
+
+(** Character classes, shared with the pragma scanner. *)
+val is_digit : char -> bool
+
+val is_ident_start : char -> bool
+val is_ident : char -> bool
+
+(** Tokenize a whole source text; the result always ends with
+    {!Token.Eof}.
+    @raise Lex_error with a line number on invalid input. *)
+val tokenize : string -> lexed list

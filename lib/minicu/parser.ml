@@ -1,0 +1,586 @@
+(** Recursive-descent parser for MiniCU, producing kernel IR directly.
+
+    The grammar is the CUDA subset the paper's code template needs (see
+    [Dpc_kir.Pp], whose output this parser round-trips):
+
+    {v
+    program   := kernel*
+    kernel    := "__global__" "void" IDENT "(" params ")" "{" shared* stmt* "}"
+    params    := [ type IDENT ("," type IDENT)* ]
+    type      := ("int" | "float") ["*"]
+    shared    := "__shared__" ("int"|"float") IDENT "[" INT "]" ";"
+    stmt      := "var" IDENT "=" rvalue ";"
+               | lvalue "=" rvalue ";"
+               | "if" "(" expr ")" block ["else" block]
+               | "while" "(" expr ")" block
+               | "for" "(" ["var"] IDENT "=" expr ";" IDENT "<" expr ";"
+                           IDENT "=" IDENT "+" "1" ")" block
+               | [pragma] "launch" IDENT "<<<" expr "," expr ">>>" "(" args ")" ";"
+               | "__syncthreads" "(" ")" ";"
+               | "cudaDeviceSynchronize" "(" ")" ";"
+               | "__dp_global_barrier" "(" ")" ";"
+               | "__dp_free" "(" expr ")" ";"
+               | atomic-call ";"
+               | "return" ";"
+    rvalue    := atomic-call | "__dp_malloc_"("warp"|"block"|"grid") "(" expr ")"
+               | expr
+    v}
+
+    Local variables are introduced by [var x = ...]; all locals are
+    dynamically typed, as in the IR. *)
+
+module A = Dpc_kir.Ast
+module K = Dpc_kir.Kernel
+module T = Token
+
+exception Parse_error of { line : int; msg : string }
+
+type state = {
+  toks : Lexer.lexed array;
+  mutable pos : int;
+  mutable shared_names : string list;  (** of the kernel being parsed *)
+}
+
+let error (s : state) fmt =
+  let line =
+    if s.pos < Array.length s.toks then s.toks.(s.pos).Lexer.line else 0
+  in
+  Printf.ksprintf (fun msg -> raise (Parse_error { line; msg })) fmt
+
+let cur s = s.toks.(s.pos).Lexer.tok
+
+let peek s k =
+  if s.pos + k < Array.length s.toks then s.toks.(s.pos + k).Lexer.tok
+  else T.Eof
+
+let advance s = s.pos <- s.pos + 1
+
+let expect s tok =
+  if cur s = tok then advance s
+  else error s "expected %s, found %s" (T.to_string tok) (T.to_string (cur s))
+
+let expect_ident s =
+  match cur s with
+  | T.Ident name ->
+    advance s;
+    name
+  | t -> error s "expected an identifier, found %s" (T.to_string t)
+
+let expect_keyword s kw =
+  match cur s with
+  | T.Ident name when name = kw -> advance s
+  | t -> error s "expected %S, found %s" kw (T.to_string t)
+
+let expect_int s =
+  match cur s with
+  | T.Int_lit n ->
+    advance s;
+    n
+  | t -> error s "expected an integer literal, found %s" (T.to_string t)
+
+(* --- expressions ---------------------------------------------------------- *)
+
+let specials_dotted = [ "threadIdx"; "blockIdx"; "blockDim"; "gridDim" ]
+
+let dotted_special = function
+  | "threadIdx" -> A.Thread_idx
+  | "blockIdx" -> A.Block_idx
+  | "blockDim" -> A.Block_dim
+  | "gridDim" -> A.Grid_dim
+  | s -> invalid_arg s
+
+let atomic_ops =
+  [
+    ("atomicAdd", A.Aadd);
+    ("atomicMin", A.Amin);
+    ("atomicMax", A.Amax);
+    ("atomicExch", A.Aexch);
+    ("atomicCAS", A.Acas);
+  ]
+
+let malloc_scopes =
+  [
+    ("__dp_malloc_warp", A.Per_warp);
+    ("__dp_malloc_block", A.Per_block);
+    ("__dp_malloc_grid", A.Per_grid);
+  ]
+
+let rec parse_expr s = parse_or s
+
+and parse_or s =
+  let lhs = ref (parse_and s) in
+  while cur s = T.Bar_bar do
+    advance s;
+    lhs := A.Binop (A.Or, !lhs, parse_and s)
+  done;
+  !lhs
+
+and parse_and s =
+  let lhs = ref (parse_bitor s) in
+  while cur s = T.Amp_amp do
+    advance s;
+    lhs := A.Binop (A.And, !lhs, parse_bitor s)
+  done;
+  !lhs
+
+and parse_bitor s =
+  let lhs = ref (parse_bitxor s) in
+  while cur s = T.Bar do
+    advance s;
+    lhs := A.Binop (A.Bit_or, !lhs, parse_bitxor s)
+  done;
+  !lhs
+
+and parse_bitxor s =
+  let lhs = ref (parse_bitand s) in
+  while cur s = T.Caret do
+    advance s;
+    lhs := A.Binop (A.Bit_xor, !lhs, parse_bitand s)
+  done;
+  !lhs
+
+and parse_bitand s =
+  let lhs = ref (parse_equality s) in
+  while cur s = T.Amp do
+    advance s;
+    lhs := A.Binop (A.Bit_and, !lhs, parse_equality s)
+  done;
+  !lhs
+
+and parse_equality s =
+  let lhs = ref (parse_relational s) in
+  let continue = ref true in
+  while !continue do
+    match cur s with
+    | T.Eq ->
+      advance s;
+      lhs := A.Binop (A.Eq, !lhs, parse_relational s)
+    | T.Ne ->
+      advance s;
+      lhs := A.Binop (A.Ne, !lhs, parse_relational s)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_relational s =
+  let lhs = ref (parse_shift s) in
+  let continue = ref true in
+  while !continue do
+    match cur s with
+    | T.Lt ->
+      advance s;
+      lhs := A.Binop (A.Lt, !lhs, parse_shift s)
+    | T.Le ->
+      advance s;
+      lhs := A.Binop (A.Le, !lhs, parse_shift s)
+    | T.Gt ->
+      advance s;
+      lhs := A.Binop (A.Gt, !lhs, parse_shift s)
+    | T.Ge ->
+      advance s;
+      lhs := A.Binop (A.Ge, !lhs, parse_shift s)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_shift s =
+  let lhs = ref (parse_additive s) in
+  let continue = ref true in
+  while !continue do
+    match cur s with
+    | T.Shl ->
+      advance s;
+      lhs := A.Binop (A.Shl, !lhs, parse_additive s)
+    | T.Shr ->
+      advance s;
+      lhs := A.Binop (A.Shr, !lhs, parse_additive s)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_additive s =
+  let lhs = ref (parse_multiplicative s) in
+  let continue = ref true in
+  while !continue do
+    match cur s with
+    | T.Plus ->
+      advance s;
+      lhs := A.Binop (A.Add, !lhs, parse_multiplicative s)
+    | T.Minus ->
+      advance s;
+      lhs := A.Binop (A.Sub, !lhs, parse_multiplicative s)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_multiplicative s =
+  let lhs = ref (parse_unary s) in
+  let continue = ref true in
+  while !continue do
+    match cur s with
+    | T.Star ->
+      advance s;
+      lhs := A.Binop (A.Mul, !lhs, parse_unary s)
+    | T.Slash ->
+      advance s;
+      lhs := A.Binop (A.Div, !lhs, parse_unary s)
+    | T.Percent ->
+      advance s;
+      lhs := A.Binop (A.Mod, !lhs, parse_unary s)
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_unary s =
+  match cur s with
+  | T.Minus ->
+    advance s;
+    A.Unop (A.Neg, parse_unary s)
+  | T.Bang ->
+    advance s;
+    A.Unop (A.Not, parse_unary s)
+  | T.Lparen
+    when (match (peek s 1, peek s 2) with
+         | T.Ident ("int" | "float"), T.Rparen -> true
+         | _ -> false) ->
+    advance s;
+    let op =
+      match expect_ident s with
+      | "int" -> A.To_int
+      | _ -> A.To_float
+    in
+    expect s T.Rparen;
+    A.Unop (op, parse_unary s)
+  | _ -> parse_postfix s
+
+and parse_postfix s =
+  let e = ref (parse_primary s) in
+  while cur s = T.Lbracket do
+    advance s;
+    let idx = parse_expr s in
+    expect s T.Rbracket;
+    (e :=
+       match !e with
+       | A.Var v when List.mem v.A.name s.shared_names ->
+         A.Shared_load (v.A.name, idx)
+       | base -> A.Load (base, idx))
+  done;
+  !e
+
+and parse_primary s =
+  match cur s with
+  | T.Int_lit n ->
+    advance s;
+    A.Const (Dpc_kir.Value.Vint n)
+  | T.Float_lit f ->
+    advance s;
+    A.Const (Dpc_kir.Value.Vfloat f)
+  | T.Lparen ->
+    advance s;
+    let e = parse_expr s in
+    expect s T.Rparen;
+    e
+  | T.Ident ("min" | "max") when peek s 1 = T.Lparen ->
+    let op = if cur s = T.Ident "min" then A.Min else A.Max in
+    advance s;
+    expect s T.Lparen;
+    let a = parse_expr s in
+    expect s T.Comma;
+    let b = parse_expr s in
+    expect s T.Rparen;
+    A.Binop (op, a, b)
+  | T.Ident "__len" ->
+    advance s;
+    expect s T.Lparen;
+    let e = parse_expr s in
+    expect s T.Rparen;
+    A.Buf_len e
+  | T.Ident "__buf" ->
+    advance s;
+    expect s T.Lparen;
+    let n = expect_int s in
+    expect s T.Rparen;
+    A.Const (Dpc_kir.Value.Vbuf n)
+  | T.Ident name when List.mem name specials_dotted ->
+    advance s;
+    expect s T.Dot;
+    expect_keyword s "x";
+    A.Special (dotted_special name)
+  | T.Ident "laneId" ->
+    advance s;
+    A.Special A.Lane_id
+  | T.Ident "warpId" ->
+    advance s;
+    A.Special A.Warp_id
+  | T.Ident "warpSize" ->
+    advance s;
+    A.Special A.Warp_size
+  | T.Ident name ->
+    advance s;
+    A.Var (A.var name)
+  | t -> error s "expected an expression, found %s" (T.to_string t)
+
+(* --- statements ------------------------------------------------------------ *)
+
+let parse_atomic_call s op =
+  expect s T.Lparen;
+  let buf = parse_expr s in
+  expect s T.Comma;
+  let idx = parse_expr s in
+  expect s T.Comma;
+  let third = parse_expr s in
+  let compare, operand =
+    if op = A.Acas then begin
+      expect s T.Comma;
+      let v = parse_expr s in
+      (Some third, v)
+    end
+    else (None, third)
+  in
+  expect s T.Rparen;
+  (buf, idx, operand, compare)
+
+let rec parse_stmt s : A.stmt =
+  match cur s with
+  | T.Pragma text -> (
+    advance s;
+    match Pragma_parser.parse text with
+    | Some pragma -> parse_launch s (Some pragma)
+    | None -> error s "only #pragma dp directives are supported")
+  | T.Ident "launch" -> parse_launch s None
+  | T.Ident "var" ->
+    advance s;
+    let name = expect_ident s in
+    expect s T.Assign;
+    parse_rvalue s name
+  | T.Ident "if" ->
+    advance s;
+    expect s T.Lparen;
+    let cond = parse_expr s in
+    expect s T.Rparen;
+    let then_blk = parse_block s in
+    let else_blk =
+      if cur s = T.Ident "else" then begin
+        advance s;
+        parse_block s
+      end
+      else []
+    in
+    A.If (cond, then_blk, else_blk)
+  | T.Ident "while" ->
+    advance s;
+    expect s T.Lparen;
+    let cond = parse_expr s in
+    expect s T.Rparen;
+    A.While (cond, parse_block s)
+  | T.Ident "for" ->
+    advance s;
+    expect s T.Lparen;
+    if cur s = T.Ident "var" then advance s;
+    let name = expect_ident s in
+    expect s T.Assign;
+    let lo = parse_expr s in
+    expect s T.Semi;
+    let cond = parse_expr s in
+    expect s T.Semi;
+    let hi =
+      match cond with
+      | A.Binop (A.Lt, A.Var v, hi) when v.A.name = name -> hi
+      | _ ->
+        error s "for-loop condition must be %s < <expr> (use while otherwise)"
+          name
+    in
+    let iname = expect_ident s in
+    if iname <> name then
+      error s "for-loop increment must update %s" name;
+    expect s T.Assign;
+    (match parse_expr s with
+    | A.Binop (A.Add, A.Var v, A.Const (Dpc_kir.Value.Vint 1))
+      when v.A.name = name ->
+      ()
+    | _ -> error s "for-loop increment must be %s = %s + 1" name name);
+    expect s T.Rparen;
+    A.For (A.var name, lo, hi, parse_block s)
+  | T.Ident "return" ->
+    advance s;
+    expect s T.Semi;
+    A.Return
+  | T.Ident "__syncthreads" ->
+    advance s;
+    expect s T.Lparen;
+    expect s T.Rparen;
+    expect s T.Semi;
+    A.Syncthreads
+  | T.Ident "cudaDeviceSynchronize" ->
+    advance s;
+    expect s T.Lparen;
+    expect s T.Rparen;
+    expect s T.Semi;
+    A.Device_sync
+  | T.Ident "__dp_global_barrier" ->
+    advance s;
+    expect s T.Lparen;
+    expect s T.Rparen;
+    expect s T.Semi;
+    A.Grid_barrier
+  | T.Ident "__dp_free" ->
+    advance s;
+    expect s T.Lparen;
+    let e = parse_expr s in
+    expect s T.Rparen;
+    expect s T.Semi;
+    A.Free e
+  | T.Ident name when List.mem_assoc name atomic_ops && peek s 1 = T.Lparen ->
+    let op = List.assoc name atomic_ops in
+    advance s;
+    let buf, idx, operand, compare = parse_atomic_call s op in
+    expect s T.Semi;
+    A.Atomic { op; buf; idx; operand; compare; old = None }
+  | _ -> (
+    (* Assignment statement: lvalue = rvalue; *)
+    let target = parse_postfix s in
+    expect s T.Assign;
+    match target with
+    | A.Var v -> parse_rvalue s v.A.name
+    | A.Load (b, i) ->
+      let value = parse_expr s in
+      expect s T.Semi;
+      A.Store (b, i, value)
+    | A.Shared_load (n, i) ->
+      let value = parse_expr s in
+      expect s T.Semi;
+      A.Shared_store (n, i, value)
+    | _ -> error s "invalid assignment target")
+
+(* Right-hand side of [name = ...]: atomic call with old-value binding,
+   device-heap allocation, or a plain expression. *)
+and parse_rvalue s name : A.stmt =
+  match cur s with
+  | T.Ident a when List.mem_assoc a atomic_ops && peek s 1 = T.Lparen ->
+    let op = List.assoc a atomic_ops in
+    advance s;
+    let buf, idx, operand, compare = parse_atomic_call s op in
+    expect s T.Semi;
+    A.Atomic { op; buf; idx; operand; compare; old = Some (A.var name) }
+  | T.Ident m when List.mem_assoc m malloc_scopes && peek s 1 = T.Lparen ->
+    let scope = List.assoc m malloc_scopes in
+    advance s;
+    expect s T.Lparen;
+    let count = parse_expr s in
+    expect s T.Rparen;
+    expect s T.Semi;
+    A.Malloc { dst = A.var name; count; scope; site = -1 }
+  | _ ->
+    let e = parse_expr s in
+    expect s T.Semi;
+    A.Let (A.var name, e)
+
+and parse_launch s pragma : A.stmt =
+  expect_keyword s "launch";
+  let callee = expect_ident s in
+  expect s T.Triple_lt;
+  let grid = parse_expr s in
+  expect s T.Comma;
+  let block = parse_expr s in
+  expect s T.Triple_gt;
+  expect s T.Lparen;
+  let args = ref [] in
+  if cur s <> T.Rparen then begin
+    args := [ parse_expr s ];
+    while cur s = T.Comma do
+      advance s;
+      args := parse_expr s :: !args
+    done
+  end;
+  expect s T.Rparen;
+  expect s T.Semi;
+  A.Launch { callee; grid; block; args = List.rev !args; pragma }
+
+and parse_block s : A.stmt list =
+  expect s T.Lbrace;
+  let stmts = ref [] in
+  while cur s <> T.Rbrace do
+    stmts := parse_stmt s :: !stmts
+  done;
+  expect s T.Rbrace;
+  List.rev !stmts
+
+(* --- kernels and programs ---------------------------------------------------- *)
+
+let parse_type s : A.ty =
+  match expect_ident s with
+  | "int" ->
+    if cur s = T.Star then begin
+      advance s;
+      A.Tptr_int
+    end
+    else A.Tint
+  | "float" ->
+    if cur s = T.Star then begin
+      advance s;
+      A.Tptr_float
+    end
+    else A.Tfloat
+  | other -> error s "unknown type %S" other
+
+let parse_kernel s : K.t =
+  expect_keyword s "__global__";
+  expect_keyword s "void";
+  let name = expect_ident s in
+  expect s T.Lparen;
+  let params = ref [] in
+  if cur s <> T.Rparen then begin
+    let one () =
+      let ty = parse_type s in
+      let pname = expect_ident s in
+      params := A.param ~ty pname :: !params
+    in
+    one ();
+    while cur s = T.Comma do
+      advance s;
+      one ()
+    done
+  end;
+  expect s T.Rparen;
+  expect s T.Lbrace;
+  (* Shared-memory declarations come first. *)
+  s.shared_names <- [];
+  let shared = ref [] in
+  while cur s = T.Ident "__shared__" do
+    advance s;
+    (match cur s with
+    | T.Ident ("int" | "float") -> advance s
+    | t -> error s "expected shared element type, found %s" (T.to_string t));
+    let sname = expect_ident s in
+    expect s T.Lbracket;
+    let size = expect_int s in
+    expect s T.Rbracket;
+    expect s T.Semi;
+    shared := (sname, size) :: !shared;
+    s.shared_names <- sname :: s.shared_names
+  done;
+  let body = ref [] in
+  while cur s <> T.Rbrace do
+    body := parse_stmt s :: !body
+  done;
+  expect s T.Rbrace;
+  K.make ~name ~params:(List.rev !params) ~shared:(List.rev !shared)
+    (List.rev !body)
+
+(** Parse a full MiniCU source file into a program. *)
+let parse_program (src : string) : K.Program.t =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let s = { toks; pos = 0; shared_names = [] } in
+  let prog = K.Program.create () in
+  while cur s <> T.Eof do
+    K.Program.add prog (parse_kernel s)
+  done;
+  prog
+
+(** Parse a single kernel definition. *)
+let parse_kernel_string (src : string) : K.t =
+  let toks = Array.of_list (Lexer.tokenize src) in
+  let s = { toks; pos = 0; shared_names = [] } in
+  let k = parse_kernel s in
+  if cur s <> T.Eof then error s "trailing input after kernel";
+  k

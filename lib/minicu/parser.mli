@@ -1,0 +1,16 @@
+(** Recursive-descent parser for MiniCU, producing kernel IR directly.
+
+    MiniCU is this project's CUDA-lite concrete syntax; its grammar is
+    documented in the implementation header and round-trips with the
+    printer ({!Dpc_kir.Pp}), which is what makes the consolidation
+    compiler genuinely source-to-source. *)
+
+exception Parse_error of { line : int; msg : string }
+
+(** Parse a full source file (a sequence of [__global__] kernels).
+    @raise Parse_error / {!Lexer.Lex_error} with line numbers. *)
+val parse_program : string -> Dpc_kir.Kernel.Program.t
+
+(** Parse exactly one kernel definition.
+    @raise Parse_error on trailing input. *)
+val parse_kernel_string : string -> Dpc_kir.Kernel.t

@@ -1,0 +1,149 @@
+(** Parser for the [#pragma dp] directive (Table I).
+
+    Accepts the clause list after [#pragma], e.g.
+    [dp consldt(block) buffer(custom, perBufferSize: 256, totalSize: 1048576)
+     work(curr) threads(256) blocks(13)].
+
+    [consldt] and [work] are mandatory; everything else is optional, as in
+    the paper. *)
+
+module Pragma = Dpc_kir.Pragma
+
+exception Pragma_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Pragma_error s)) fmt
+
+(* Tiny scanner over the pragma text: identifiers, integers, punctuation. *)
+type tok = Id of string | Num of int | Punct of char
+
+let scan (s : string) : tok list =
+  let n = String.length s in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' then incr i
+    else if Lexer.is_ident_start c then begin
+      let start = !i in
+      while !i < n && Lexer.is_ident s.[!i] do
+        incr i
+      done;
+      out := Id (String.sub s start (!i - start)) :: !out
+    end
+    else if Lexer.is_digit c then begin
+      let start = !i in
+      while !i < n && Lexer.is_digit s.[!i] do
+        incr i
+      done;
+      out := Num (int_of_string (String.sub s start (!i - start))) :: !out
+    end
+    else if c = '(' || c = ')' || c = ',' || c = ':' then begin
+      out := Punct c :: !out;
+      incr i
+    end
+    else error "unexpected character %C in #pragma dp" c
+  done;
+  List.rev !out
+
+type clause_acc = {
+  mutable granularity : Pragma.granularity option;
+  mutable buffer : Pragma.buffer_alloc;
+  mutable per_buffer_size : Pragma.size option;
+  mutable total_size : int option;
+  mutable work : string list;
+  mutable threads : int option;
+  mutable blocks : int option;
+}
+
+(* Parse the comma-separated argument list of one clause; returns the raw
+   items, where an item is either a lone token or a [key: value] pair. *)
+let rec parse_args acc = function
+  | Punct ')' :: rest -> (List.rev acc, rest)
+  | Punct ',' :: rest -> parse_args acc rest
+  | Id key :: Punct ':' :: value :: rest ->
+    parse_args (`Pair (key, value) :: acc) rest
+  | (Id _ as t) :: rest | (Num _ as t) :: rest ->
+    parse_args (`Single t :: acc) rest
+  | Punct c :: _ -> error "unexpected %C in clause arguments" c
+  | [] -> error "unterminated clause argument list"
+
+let clause_of acc name args =
+  match (name, args) with
+  | "consldt", [ `Single (Id g) ] ->
+    acc.granularity <-
+      Some
+        (match g with
+        | "warp" -> Pragma.Warp
+        | "block" -> Pragma.Block
+        | "grid" -> Pragma.Grid
+        | other -> error "unknown consolidation granularity %S" other)
+  | "consldt", _ -> error "consldt expects exactly one of warp|block|grid"
+  | "buffer", items ->
+    List.iter
+      (function
+        | `Single (Id "default") -> acc.buffer <- Pragma.Default
+        | `Single (Id "halloc") -> acc.buffer <- Pragma.Halloc
+        | `Single (Id "custom") -> acc.buffer <- Pragma.Custom
+        | `Pair ("perBufferSize", Num n) ->
+          acc.per_buffer_size <- Some (Pragma.Size_const n)
+        | `Pair ("perBufferSize", Id v) ->
+          acc.per_buffer_size <- Some (Pragma.Size_var v)
+        | `Pair ("totalSize", Num n) -> acc.total_size <- Some n
+        | `Single (Id other) -> error "unknown buffer allocator %S" other
+        | `Single (Num _) | `Single (Punct _) | `Pair _ ->
+          error "malformed buffer clause")
+      items
+  | "work", items ->
+    acc.work <-
+      List.map
+        (function
+          | `Single (Id v) -> v
+          | _ -> error "work clause takes a list of variable names")
+        items
+  | "threads", [ `Single (Num n) ] -> acc.threads <- Some n
+  | "threads", _ -> error "threads expects one integer"
+  | "blocks", [ `Single (Num n) ] -> acc.blocks <- Some n
+  | "blocks", _ -> error "blocks expects one integer"
+  | other, _ -> error "unknown #pragma dp clause %S" other
+
+(** Parse the text following [#pragma] (e.g. ["dp consldt(grid) work(x)"]).
+    Returns [None] if the pragma is not a [dp] directive. *)
+let parse (text : string) : Pragma.t option =
+  match scan text with
+  | Id "dp" :: rest ->
+    let acc =
+      {
+        granularity = None;
+        buffer = Pragma.Custom;
+        per_buffer_size = None;
+        total_size = None;
+        work = [];
+        threads = None;
+        blocks = None;
+      }
+    in
+    let rec clauses = function
+      | [] -> ()
+      | Id name :: Punct '(' :: rest ->
+        let args, rest = parse_args [] rest in
+        clause_of acc name args;
+        clauses rest
+      | t :: _ ->
+        error "expected a clause, found %s"
+          (match t with
+          | Id s -> s
+          | Num n -> string_of_int n
+          | Punct c -> String.make 1 c)
+    in
+    clauses rest;
+    let granularity =
+      match acc.granularity with
+      | Some g -> g
+      | None -> error "#pragma dp requires a consldt clause"
+    in
+    if acc.work = [] then error "#pragma dp requires a work clause";
+    Some
+      (Pragma.make ~granularity ~work:acc.work ~buffer:acc.buffer
+         ?per_buffer_size:acc.per_buffer_size ?total_size:acc.total_size
+         ?threads:acc.threads ?blocks:acc.blocks ())
+  | _ -> None

@@ -1,0 +1,12 @@
+(** Parser for the [#pragma dp] directive (Table I of the paper).
+
+    Accepts the text after [#pragma], e.g.
+    [dp consldt(block) buffer(custom, perBufferSize: 256) work(curr)]. *)
+
+exception Pragma_error of string
+
+(** [parse text] is [Some pragma] for a [dp] directive, [None] for any
+    other pragma (which callers should ignore, as C compilers do).
+    @raise Pragma_error on a malformed [dp] directive (unknown clause,
+    missing [consldt]/[work], bad arguments). *)
+val parse : string -> Dpc_kir.Pragma.t option

@@ -1,0 +1,38 @@
+(** Tokens of the MiniCU language (this project's CUDA-lite dialect). *)
+
+type t =
+  | Ident of string
+  | Int_lit of int
+  | Float_lit of float
+  | Pragma of string  (** raw text after [#pragma], one per source line *)
+  | Lparen | Rparen
+  | Lbrace | Rbrace
+  | Lbracket | Rbracket
+  | Comma | Semi | Colon | Dot
+  | Assign  (** = *)
+  | Plus | Minus | Star | Slash | Percent
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Amp_amp | Bar_bar | Bang
+  | Amp | Bar | Caret
+  | Shl | Shr
+  | Triple_lt  (** <<< *)
+  | Triple_gt  (** >>> *)
+  | Eof
+
+let to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Int_lit n -> Printf.sprintf "integer %d" n
+  | Float_lit f -> Printf.sprintf "float %g" f
+  | Pragma s -> Printf.sprintf "#pragma %s" s
+  | Lparen -> "(" | Rparen -> ")"
+  | Lbrace -> "{" | Rbrace -> "}"
+  | Lbracket -> "[" | Rbracket -> "]"
+  | Comma -> "," | Semi -> ";" | Colon -> ":" | Dot -> "."
+  | Assign -> "="
+  | Plus -> "+" | Minus -> "-" | Star -> "*" | Slash -> "/" | Percent -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Amp_amp -> "&&" | Bar_bar -> "||" | Bang -> "!"
+  | Amp -> "&" | Bar -> "|" | Caret -> "^"
+  | Shl -> "<<" | Shr -> ">>"
+  | Triple_lt -> "<<<" | Triple_gt -> ">>>"
+  | Eof -> "end of input"

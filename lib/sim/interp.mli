@@ -1,0 +1,64 @@
+(** Functional SIMT interpreter.
+
+    Executes kernel IR the way a SIMT machine does at warp granularity:
+    each warp evaluates instructions as 32-wide vectors under an
+    active-lane mask, divergent branches serialize both paths, and
+    global-memory instructions are coalesced into 128-byte segments
+    filtered through an L2 model.  It produces real results (verified by
+    the apps against CPU references) and records the per-block
+    {!Trace.segment}s consumed by the timing model.
+
+    Device-side launches are recorded and executed when the launching
+    block reaches [cudaDeviceSynchronize] (deep, run-to-completion drain)
+    or finishes (global breadth-order queue) — a valid CUDA execution
+    order that keeps data-dependent launch chains near their
+    breadth-first depth, as concurrent hardware does. *)
+
+exception Sim_error of string
+
+type session = {
+  cfg : Dpc_gpu.Config.t;
+  mem : Dpc_gpu.Memory.t;
+  alloc : Dpc_alloc.Allocator.t;
+  prog : Dpc_kir.Kernel.Program.t;
+  grids : Trace.grid_exec Dpc_util.Vec.t;
+  mutable roots : int list;
+  l2_tags : int array;
+  mutable alloc_cycles : int;
+  mutable max_depth : int;
+  mutable grid_budget : int;
+  fifo : pending_launch Queue.t;
+}
+
+and pending_launch
+
+(** [create_session ~cfg ~alloc prog] finalizes [prog] and prepares an
+    execution session.  [grid_budget] bounds the total number of grids a
+    session may execute (a runaway-recursion guard; exceeded raises
+    {!Sim_error}). *)
+val create_session :
+  ?grid_budget:int ->
+  cfg:Dpc_gpu.Config.t ->
+  alloc:Dpc_alloc.Allocator.t ->
+  Dpc_kir.Kernel.Program.t ->
+  session
+
+(** Synchronous host-side launch: executes the grid and every device-side
+    launch it transitively produces, records the traces, and returns the
+    root grid id.
+    @raise Sim_error on invalid configurations, nesting-depth overflow,
+    type errors, or barrier misuse;
+    @raise Dpc_gpu.Memory.Out_of_bounds on wild accesses. *)
+val host_launch :
+  session ->
+  kernel:string ->
+  grid:int ->
+  block:int ->
+  Dpc_kir.Value.t list ->
+  int
+
+(** All executed grids, indexed by grid id. *)
+val grids : session -> Trace.grid_exec array
+
+(** Host-launched roots, in launch order. *)
+val roots : session -> int list

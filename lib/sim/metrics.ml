@@ -1,0 +1,47 @@
+(** Aggregated run metrics — the simulator's equivalent of the Nvidia
+    Visual Profiler counters the paper reports (Figs. 7-10). *)
+
+type report = {
+  cycles : float;  (** end-to-end simulated device cycles *)
+  time_ms : float;
+  host_launches : int;
+  device_launches : int;  (** child kernel invocations (Fig. 8 labels) *)
+  warp_efficiency : float;  (** Fig. 8 *)
+  occupancy : float;  (** achieved SMX occupancy (Fig. 9) *)
+  dram_transactions : int;  (** read+write DRAM transactions (Fig. 10) *)
+  l2_hits : int;
+  alloc_calls : int;
+  alloc_cycles : int;
+  pool_fallbacks : int;
+  virtualized_launches : int;
+  max_pending : int;
+  swapped_syncs : int;
+  max_depth : int;
+  total_grids : int;
+}
+
+let speedup ~baseline r = baseline.cycles /. r.cycles
+
+let to_rows r =
+  [
+    ("cycles", Printf.sprintf "%.0f" r.cycles);
+    ("time (ms)", Printf.sprintf "%.3f" r.time_ms);
+    ("host launches", string_of_int r.host_launches);
+    ("device launches", string_of_int r.device_launches);
+    ("warp efficiency", Printf.sprintf "%.1f%%" (100.0 *. r.warp_efficiency));
+    ("achieved occupancy", Printf.sprintf "%.1f%%" (100.0 *. r.occupancy));
+    ("DRAM transactions", string_of_int r.dram_transactions);
+    ("L2 hits", string_of_int r.l2_hits);
+    ("allocator calls", string_of_int r.alloc_calls);
+    ("allocator cycles", string_of_int r.alloc_cycles);
+    ("pool fallbacks", string_of_int r.pool_fallbacks);
+    ("virtualized launches", string_of_int r.virtualized_launches);
+    ("max pending kernels", string_of_int r.max_pending);
+    ("swapped syncs", string_of_int r.swapped_syncs);
+    ("max nesting depth", string_of_int r.max_depth);
+    ("total grids", string_of_int r.total_grids);
+  ]
+
+let print ?(title = "run report") r =
+  Printf.printf "--- %s ---\n" title;
+  List.iter (fun (k, v) -> Printf.printf "  %-22s %s\n" k v) (to_rows r)

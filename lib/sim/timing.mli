@@ -1,0 +1,54 @@
+(** Discrete-event timing model.
+
+    Replays the traces recorded by {!Interp} against the device's
+    resources: SMX occupancy limits, per-SMX issue bandwidth, the
+    32-concurrent-grid limit, the device-side launch pipeline with its
+    fixed/virtualized pending pools, CTA startup cost, and parent-block
+    swap on [cudaDeviceSynchronize].  Host launches replay sequentially
+    (the drivers synchronize between kernels). *)
+
+(** SMX scheduling discipline (DESIGN.md ablation A2):
+    [Processor_sharing] (default) shares each SMX's issue bandwidth among
+    resident blocks in proportion to their warp counts; [Fcfs] runs every
+    block at its solo rate (no contention). *)
+type scheduler = Processor_sharing | Fcfs
+
+type result = {
+  total_cycles : float;
+  occupancy : float;
+      (** achieved SMX occupancy: time-averaged resident warps per busy
+          SMX over the warp capacity (the profiler's definition) *)
+  extra_dram : int;  (** swap + virtualized-pool traffic *)
+  virtualized_launches : int;
+  max_pending : int;
+  swapped_syncs : int;
+}
+
+type t
+
+exception Stuck of string
+
+val create :
+  ?scheduler:scheduler ->
+  ?record_timeline:bool ->
+  Dpc_gpu.Config.t ->
+  Trace.grid_exec array ->
+  int list ->
+  t
+
+(** Run the replay to completion.
+    @raise Stuck if any grid cannot complete (a model invariant
+    violation). *)
+val run : t -> result
+
+(** Resident-warp step samples (start_time, warps) in time order; empty
+    unless the model was created with [record_timeline:true]. *)
+val timeline : t -> (float * int) list
+
+(** [simulate cfg grids roots] = [run (create cfg grids roots)]. *)
+val simulate :
+  ?scheduler:scheduler ->
+  Dpc_gpu.Config.t ->
+  Trace.grid_exec array ->
+  int list ->
+  result

@@ -1,0 +1,70 @@
+(** Binary min-heap keyed by float priority, with a sequence number as a
+    tie-breaker so equal-priority items pop in insertion order (the event
+    queue of the timing simulator needs deterministic ordering). *)
+
+type 'a entry = { prio : float; seq : int; v : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; len = 0; next_seq = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let before a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && before t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.len && before t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t prio v =
+  let e = { prio; seq = t.next_seq; v } in
+  t.next_seq <- t.next_seq + 1;
+  if t.len = Array.length t.data then begin
+    let cap = Int.max 16 (2 * t.len) in
+    let data = Array.make cap e in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end;
+  t.data.(t.len) <- e;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some (top.prio, top.v)
+  end
+
+let peek_prio t = if t.len = 0 then None else Some t.data.(0).prio

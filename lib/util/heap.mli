@@ -1,0 +1,18 @@
+(** Binary min-heap keyed by float priority.
+
+    Equal-priority items pop in insertion order (a sequence number breaks
+    ties), which keeps the timing simulator's event processing
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> float -> 'a -> unit
+
+(** Smallest priority first; [None] when empty. *)
+val pop_min : 'a t -> (float * 'a) option
+
+(** Priority of the next element to pop, without popping. *)
+val peek_prio : 'a t -> float option

@@ -1,0 +1,48 @@
+(** Small statistics helpers used by the metrics and the experiment
+    harness (averages across benchmarks, geometric means for speedups). *)
+
+let mean = function
+  | [] -> nan
+  | xs -> List.fold_left ( +. ) 0.0 xs /. Float.of_int (List.length xs)
+
+(** Geometric mean; the right average for ratios such as speedups. *)
+let geomean = function
+  | [] -> nan
+  | xs ->
+    let log_sum =
+      List.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value";
+          acc +. Float.log x)
+        0.0 xs
+    in
+    Float.exp (log_sum /. Float.of_int (List.length xs))
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let stddev xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let n = Float.of_int (List.length xs) in
+    let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
+    Float.sqrt (ss /. (n -. 1.0))
+
+(** Histogram of integer samples into [buckets] equal-width bins. *)
+let histogram ~buckets ~lo ~hi samples =
+  if buckets <= 0 || hi <= lo then invalid_arg "Stats.histogram";
+  let counts = Array.make buckets 0 in
+  let width = Float.of_int (hi - lo) /. Float.of_int buckets in
+  List.iter
+    (fun s ->
+      if s >= lo && s < hi then begin
+        let b = Float.to_int (Float.of_int (s - lo) /. width) in
+        let b = Int.min (buckets - 1) b in
+        counts.(b) <- counts.(b) + 1
+      end)
+    samples;
+  counts

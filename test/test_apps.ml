@@ -1,0 +1,86 @@
+(* Integration tests: every benchmark app, every variant, at reduced
+   scale.  Each app run verifies its own results against the CPU
+   reference and raises on any mismatch, so these tests assert both
+   "runs to completion" and "is correct". *)
+
+module H = Dpc_apps.Harness
+module M = Dpc_sim.Metrics
+module R = Dpc_apps.Registry
+module Pragma = Dpc_kir.Pragma
+
+(* Small scales per app (see each app's scale semantics). *)
+let small_scale = function
+  | "SSSP" -> 700
+  | "SpMV" -> 900
+  | "PageRank" -> 600
+  | "GC" -> 8  (* 2^8 nodes *)
+  | "BFS-Rec" -> 8
+  | "TH" | "TD" -> 16  (* shrink divisor *)
+  | other -> invalid_arg other
+
+let run_app_variant (e : R.entry) v () =
+  let r = e.R.run ~scale:(small_scale e.R.name) v in
+  Alcotest.(check bool) "simulated time positive" true (r.M.cycles > 0.0);
+  Alcotest.(check bool) "warp efficiency sane" true
+    (r.M.warp_efficiency > 0.0 && r.M.warp_efficiency <= 1.0);
+  Alcotest.(check bool) "occupancy sane" true
+    (r.M.occupancy >= 0.0 && r.M.occupancy <= 1.0);
+  match v with
+  | H.Flat -> Alcotest.(check int) "flat has no device launches" 0 r.M.device_launches
+  | H.Basic -> ()
+  | H.Cons _ -> ()
+
+let consolidation_reduces_launches (e : R.entry) () =
+  let scale = small_scale e.R.name in
+  let basic = e.R.run ~scale H.Basic in
+  let grid = e.R.run ~scale (H.Cons Pragma.Grid) in
+  Alcotest.(check bool)
+    (e.R.name ^ ": grid-level launches far fewer kernels")
+    true
+    (grid.M.device_launches * 4 < basic.M.device_launches
+    || basic.M.device_launches < 8);
+  Alcotest.(check bool)
+    (e.R.name ^ ": warp efficiency improves")
+    true
+    (grid.M.warp_efficiency >= basic.M.warp_efficiency -. 0.05)
+
+let allocator_choice_runs (e : R.entry) () =
+  (* Consolidated runs must be correct with every allocator. *)
+  List.iter
+    (fun kind ->
+      ignore
+        (e.R.run ~scale:(small_scale e.R.name) ~alloc:kind
+           (H.Cons Pragma.Block)))
+    Dpc_alloc.Allocator.[ Default; Halloc; Pool ]
+
+let policy_choice_runs (e : R.entry) () =
+  List.iter
+    (fun policy ->
+      ignore
+        (e.R.run ~scale:(small_scale e.R.name) ~policy (H.Cons Pragma.Grid)))
+    Dpc.Config_select.[ Kc 1; Kc 16; One_to_one ]
+
+let variant_cases (e : R.entry) =
+  List.map
+    (fun v ->
+      Alcotest.test_case
+        (Printf.sprintf "%s %s" e.R.name (H.variant_to_string v))
+        `Slow (run_app_variant e v))
+    H.all_variants
+
+let suite =
+  List.concat_map variant_cases R.all
+  @ List.map
+      (fun e ->
+        Alcotest.test_case (e.R.name ^ " launch reduction") `Slow
+          (consolidation_reduces_launches e))
+      R.all
+  @ [
+      Alcotest.test_case "SSSP all allocators" `Slow
+        (allocator_choice_runs R.sssp);
+      Alcotest.test_case "TD all allocators" `Slow
+        (allocator_choice_runs R.tree_descendants);
+      Alcotest.test_case "SSSP all policies" `Slow (policy_choice_runs R.sssp);
+      Alcotest.test_case "TD all policies" `Slow
+        (policy_choice_runs R.tree_descendants);
+    ]

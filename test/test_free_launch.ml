@@ -1,0 +1,133 @@
+(* Tests for the Free Launch comparison baseline. *)
+
+module Parser = Dpc_minicu.Parser
+module FL = Dpc.Free_launch
+module Device = Dpc_sim.Device
+module M = Dpc_sim.Metrics
+module V = Dpc_kir.Value
+module Mem = Dpc_gpu.Memory
+
+let ragged_src =
+  {|
+__global__ void child(int* row_ptr, int* data, int node) {
+  var t = threadIdx.x;
+  var start = row_ptr[node];
+  var end = row_ptr[node + 1];
+  while (start + t < end) {
+    data[start + t] = data[start + t] * 2;
+    t = t + blockDim.x;
+  }
+}
+__global__ void parent(int* row_ptr, int* data, int n, int threshold) {
+  var tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    var node = tid;
+    var deg = row_ptr[node + 1] - row_ptr[node];
+    if (deg > threshold) {
+      #pragma dp consldt(block) work(node)
+      launch child<<<1, 64>>>(row_ptr, data, node);
+    } else {
+      for (var j = row_ptr[node]; j < row_ptr[node + 1]; j = j + 1) {
+        data[j] = data[j] * 2;
+      }
+    }
+  }
+}
+|}
+
+let run_free_launch () =
+  let prog = Parser.parse_program ragged_src in
+  let r = FL.apply ~parent:"parent" prog in
+  let n = 400 in
+  let g = Dpc_graph.Gen.uniform_random ~n ~deg_lo:0 ~deg_hi:40 ~seed:3 in
+  let dev = Device.create r.FL.program in
+  let rp = Device.of_int_array dev ~name:"rp" g.Dpc_graph.Csr.row_ptr in
+  let data0 = Array.init (Dpc_graph.Csr.nnz g) (fun i -> i + 1) in
+  let data = Device.of_int_array dev ~name:"d" data0 in
+  Device.launch dev r.FL.entry ~grid:((n + 127) / 128) ~block:128
+    [ V.Vbuf rp.Mem.id; V.Vbuf data.Mem.id; V.Vint n; V.Vint 10 ];
+  (Device.read_int_array dev data.Mem.id, data0, Device.report dev)
+
+let test_free_launch_correct () =
+  let got, data0, report = run_free_launch () in
+  Alcotest.(check (array int)) "all doubled"
+    (Array.map (fun x -> x * 2) data0)
+    got;
+  Alcotest.(check int) "no device launches remain" 0
+    report.M.device_launches
+
+let test_free_launch_rejects_recursion () =
+  let src =
+    {|
+__global__ void rec(int* d, int x) {
+  if (x > 0) {
+    #pragma dp consldt(block) work(x)
+    launch rec<<<1, 32>>>(d, x - 1);
+  }
+}
+|}
+  in
+  let prog = Parser.parse_program src in
+  Alcotest.(check bool) "recursion rejected" true
+    (try
+       ignore (FL.apply ~parent:"rec" prog);
+       false
+     with FL.Unsupported _ -> true)
+
+let test_free_launch_rejects_sync_child () =
+  let src =
+    {|
+__global__ void child(int* d, int x) {
+  __shared__ int tmp[32];
+  tmp[threadIdx.x] = d[x];
+  __syncthreads();
+  d[x] = tmp[0];
+}
+__global__ void parent(int* d) {
+  var x = threadIdx.x;
+  #pragma dp consldt(block) work(x)
+  launch child<<<1, 32>>>(d, x);
+}
+|}
+  in
+  let prog = Parser.parse_program src in
+  Alcotest.(check bool) "barrier child rejected" true
+    (try
+       ignore (FL.apply ~parent:"parent" prog);
+       false
+     with FL.Unsupported _ -> true)
+
+let test_free_launch_slower_than_consolidation () =
+  (* Thread reuse removes launches but serializes the heavy rows on one
+     thread; consolidation should beat it on imbalanced inputs. *)
+  let n = 1500 in
+  let g = Dpc_graph.Gen.citeseer_like ~n ~seed:5 in
+  let data0 = Array.init (Dpc_graph.Csr.nnz g) (fun i -> i + 1) in
+  let run program entry =
+    let dev = Device.create program in
+    let rp = Device.of_int_array dev ~name:"rp" g.Dpc_graph.Csr.row_ptr in
+    let data = Device.of_int_array dev ~name:"d" data0 in
+    Device.launch dev entry ~grid:((n + 127) / 128) ~block:128
+      [ V.Vbuf rp.Mem.id; V.Vbuf data.Mem.id; V.Vint n; V.Vint 10 ];
+    (Device.report dev).M.cycles
+  in
+  let prog () = Parser.parse_program ragged_src in
+  let fl = FL.apply ~parent:"parent" (prog ()) in
+  let cons =
+    Dpc.Transform.apply ~cfg:Dpc_gpu.Config.k20c ~parent:"parent" (prog ())
+  in
+  let fl_cycles = run fl.FL.program fl.FL.entry in
+  let cons_cycles = run cons.Dpc.Transform.program cons.Dpc.Transform.entry in
+  Alcotest.(check bool) "consolidation beats thread reuse" true
+    (cons_cycles < fl_cycles)
+
+let suite =
+  [
+    Alcotest.test_case "free launch correct" `Quick test_free_launch_correct;
+    Alcotest.test_case "rejects recursion" `Quick
+      test_free_launch_rejects_recursion;
+    Alcotest.test_case "rejects sync child" `Quick
+      test_free_launch_rejects_sync_child;
+    Alcotest.test_case "consolidation beats it" `Quick
+      test_free_launch_slower_than_consolidation;
+  ]

@@ -1,0 +1,103 @@
+(* Tests for the GPU model substrate: device config math and the simulated
+   global memory. *)
+
+module Cfg = Dpc_gpu.Config
+module Mem = Dpc_gpu.Memory
+
+let cfg = Cfg.k20c
+
+let test_warps_per_block () =
+  Alcotest.(check int) "1 thread" 1 (Cfg.warps_per_block cfg ~block_dim:1);
+  Alcotest.(check int) "32" 1 (Cfg.warps_per_block cfg ~block_dim:32);
+  Alcotest.(check int) "33" 2 (Cfg.warps_per_block cfg ~block_dim:33);
+  Alcotest.(check int) "1024" 32 (Cfg.warps_per_block cfg ~block_dim:1024)
+
+let test_blocks_per_smx () =
+  (* 256-thread blocks: 8 warps each, 64-warp limit -> 8 blocks *)
+  Alcotest.(check int) "256" 8 (Cfg.blocks_per_smx cfg ~block_dim:256);
+  (* 32-thread blocks: warp limit would allow 64, block limit caps at 16 *)
+  Alcotest.(check int) "32" 16 (Cfg.blocks_per_smx cfg ~block_dim:32);
+  (* 1024-thread blocks: 32 warps -> 2 *)
+  Alcotest.(check int) "1024" 2 (Cfg.blocks_per_smx cfg ~block_dim:1024)
+
+let test_device_fill () =
+  Alcotest.(check int) "fill 256" (13 * 8)
+    (Cfg.device_fill_blocks cfg ~block_dim:256)
+
+let test_mem_alloc_zeroed () =
+  let m = Mem.create () in
+  let b = Mem.alloc_int m ~name:"z" 100 in
+  Alcotest.(check int) "zeroed" 0 (Mem.read_int b 99);
+  let f = Mem.alloc_float m ~name:"zf" 10 in
+  Alcotest.(check (float 0.0)) "zeroed float" 0.0 (Mem.read_float f 0)
+
+let test_mem_base_alignment () =
+  let m = Mem.create () in
+  let a = Mem.alloc_int m ~name:"a" 3 in
+  let b = Mem.alloc_int m ~name:"b" 3 in
+  Alcotest.(check int) "a aligned" 0 (a.Mem.base mod 128);
+  Alcotest.(check int) "b aligned" 0 (b.Mem.base mod 128);
+  Alcotest.(check bool) "disjoint" true
+    (b.Mem.base >= a.Mem.base + (3 * Mem.elem_bytes))
+
+let test_mem_bounds () =
+  let m = Mem.create () in
+  let b = Mem.alloc_int m ~name:"b" 4 in
+  Alcotest.check_raises "read oob"
+    (Mem.Out_of_bounds "buffer \"b\" (4 elements): index 4") (fun () ->
+      ignore (Mem.read_int b 4));
+  Alcotest.check_raises "negative"
+    (Mem.Out_of_bounds "buffer \"b\" (4 elements): index -1") (fun () ->
+      Mem.write_int b (-1) 0)
+
+let test_mem_type_coercion () =
+  let m = Mem.create () in
+  let b = Mem.alloc_float m ~name:"f" 2 in
+  Mem.write_int b 0 3;
+  Alcotest.(check (float 1e-9)) "int into float buffer" 3.0 (Mem.read_float b 0)
+
+let test_mem_roundtrip_arrays () =
+  let m = Mem.create () in
+  let b = Mem.of_int_array m ~name:"x" [| 5; 6; 7 |] in
+  Alcotest.(check (array int)) "contents" [| 5; 6; 7 |] (Mem.int_contents b)
+
+let test_mem_addr () =
+  let m = Mem.create () in
+  let b = Mem.alloc_int m ~name:"a" 10 in
+  Alcotest.(check int) "stride 4" (Mem.addr b 0 + 4) (Mem.addr b 1)
+
+(* Property: allocations never overlap. *)
+let prop_no_overlap =
+  QCheck.Test.make ~count:100 ~name:"allocations never overlap"
+    QCheck.(list_of_size Gen.(int_range 1 20) (int_range 1 300))
+    (fun sizes ->
+      let m = Mem.create () in
+      let bufs =
+        List.mapi (fun i n -> Mem.alloc_int m ~name:(string_of_int i) n) sizes
+      in
+      let ranges =
+        List.map
+          (fun (b : Mem.buf) ->
+            (b.Mem.base, b.Mem.base + (Mem.buf_length b * Mem.elem_bytes)))
+          bufs
+      in
+      List.for_all
+        (fun (lo1, hi1) ->
+          List.for_all
+            (fun (lo2, hi2) -> hi1 <= lo2 || hi2 <= lo1 || (lo1, hi1) = (lo2, hi2))
+            ranges)
+        ranges)
+
+let suite =
+  [
+    Alcotest.test_case "warps per block" `Quick test_warps_per_block;
+    Alcotest.test_case "blocks per smx" `Quick test_blocks_per_smx;
+    Alcotest.test_case "device fill" `Quick test_device_fill;
+    Alcotest.test_case "alloc zeroed" `Quick test_mem_alloc_zeroed;
+    Alcotest.test_case "base alignment" `Quick test_mem_base_alignment;
+    Alcotest.test_case "bounds" `Quick test_mem_bounds;
+    Alcotest.test_case "type coercion" `Quick test_mem_type_coercion;
+    Alcotest.test_case "array roundtrip" `Quick test_mem_roundtrip_arrays;
+    Alcotest.test_case "addr stride" `Quick test_mem_addr;
+    QCheck_alcotest.to_alcotest prop_no_overlap;
+  ]

@@ -1,0 +1,177 @@
+(* Tests for the graph/tree substrate: CSR invariants, generators'
+   distribution properties, CPU references. *)
+
+module Csr = Dpc_graph.Csr
+module Gen = Dpc_graph.Gen
+module Tree = Dpc_graph.Tree
+module Cpu = Dpc_graph.Cpu_ref
+
+let test_csr_of_adjacency () =
+  let g = Csr.of_adjacency [| [ 1; 2 ]; [ 2 ]; [] |] in
+  Alcotest.(check int) "n" 3 g.Csr.n;
+  Alcotest.(check int) "nnz" 3 (Csr.nnz g);
+  Alcotest.(check int) "deg 0" 2 (Csr.degree g 0);
+  Alcotest.(check int) "deg 2" 0 (Csr.degree g 2);
+  Csr.validate g
+
+let test_csr_validate_rejects_bad_target () =
+  let g =
+    { Csr.n = 2; row_ptr = [| 0; 1; 1 |]; col = [| 5 |]; weights = [| 1 |] }
+  in
+  Alcotest.(check bool) "invalid" true
+    (try
+       Csr.validate g;
+       false
+     with Csr.Invalid _ -> true)
+
+let test_csr_transpose_involution () =
+  let g = Gen.uniform_random ~n:50 ~deg_lo:0 ~deg_hi:6 ~seed:3 in
+  let gtt = Csr.transpose (Csr.transpose g) in
+  (* transpose^2 preserves the edge multiset *)
+  let edges gr =
+    let out = ref [] in
+    for v = 0 to gr.Csr.n - 1 do
+      for e = gr.Csr.row_ptr.(v) to gr.Csr.row_ptr.(v + 1) - 1 do
+        out := (v, gr.Csr.col.(e), gr.Csr.weights.(e)) :: !out
+      done
+    done;
+    List.sort compare !out
+  in
+  Alcotest.(check bool) "same edges" true (edges g = edges gtt)
+
+let test_csr_symmetrize () =
+  let g = Csr.of_adjacency [| [ 1 ]; []; [ 1 ] |] in
+  let s = Csr.symmetrize g in
+  let has v u =
+    let found = ref false in
+    for e = s.Csr.row_ptr.(v) to s.Csr.row_ptr.(v + 1) - 1 do
+      if s.Csr.col.(e) = u then found := true
+    done;
+    !found
+  in
+  Alcotest.(check bool) "0->1" true (has 0 1);
+  Alcotest.(check bool) "1->0" true (has 1 0);
+  Alcotest.(check bool) "1->2" true (has 1 2)
+
+let test_citeseer_like_shape () =
+  let g = Gen.citeseer_like ~n:4000 ~seed:1 in
+  Csr.validate g;
+  Alcotest.(check int) "n" 4000 g.Csr.n;
+  (* Every node has at least one out-edge; heavy tail present. *)
+  let mind = ref max_int in
+  for v = 0 to g.Csr.n - 1 do
+    mind := Int.min !mind (Csr.degree g v)
+  done;
+  Alcotest.(check bool) "min degree >= 1" true (!mind >= 1);
+  Alcotest.(check bool) "max degree heavy" true (Csr.max_degree g > 100);
+  Alcotest.(check bool) "mean moderate" true
+    (Csr.avg_degree g > 5.0 && Csr.avg_degree g < 150.0)
+
+let test_citeseer_deterministic () =
+  let a = Gen.citeseer_like ~n:500 ~seed:9 in
+  let b = Gen.citeseer_like ~n:500 ~seed:9 in
+  Alcotest.(check bool) "same graph" true
+    (a.Csr.row_ptr = b.Csr.row_ptr && a.Csr.col = b.Csr.col)
+
+let test_kron_like_shape () =
+  let g = Gen.kron_like ~scale:10 ~edge_factor:8 ~seed:2 in
+  Csr.validate g;
+  Alcotest.(check int) "n" 1024 g.Csr.n;
+  Alcotest.(check bool) "edges ~ n*ef" true (Csr.nnz g >= 1024 * 8);
+  (* R-MAT hubs: the max degree far exceeds the average. *)
+  Alcotest.(check bool) "hubby" true
+    (Float.of_int (Csr.max_degree g) > 8.0 *. Csr.avg_degree g)
+
+let test_tree_structure () =
+  let t = Tree.generate ~depth:4 ~lo:2 ~hi:4 ~p_child:1.0 ~seed:5 () in
+  Alcotest.(check int) "root depth" 0 t.Tree.depth_of.(0);
+  Alcotest.(check int) "depth" 4 t.Tree.depth;
+  (* Every non-root node appears exactly once as a child. *)
+  let seen = Array.make t.Tree.n 0 in
+  Array.iter (fun c -> seen.(c) <- seen.(c) + 1) t.Tree.child_list;
+  for v = 1 to t.Tree.n - 1 do
+    Alcotest.(check int) (Printf.sprintf "node %d in-degree" v) 1 seen.(v)
+  done;
+  Alcotest.(check int) "root not a child" 0 seen.(0)
+
+let test_tree_truncation_cap () =
+  let t = Tree.generate ~depth:6 ~lo:8 ~hi:10 ~p_child:1.0 ~seed:7
+      ~max_nodes:500 ()
+  in
+  Alcotest.(check bool) "capped" true (t.Tree.n <= 500)
+
+let test_tree_heights_descendants () =
+  (* root -> a, b; a -> c *)
+  let t =
+    { Tree.n = 4; child_ptr = [| 0; 2; 3; 3; 3 |];
+      child_list = [| 1; 2; 3 |]; depth_of = [| 0; 1; 1; 2 |]; depth = 2 }
+  in
+  Alcotest.(check (array int)) "heights" [| 2; 1; 0; 0 |] (Tree.heights t);
+  Alcotest.(check (array int)) "descendants" [| 3; 1; 0; 0 |]
+    (Tree.descendants t)
+
+let test_cpu_sssp_small () =
+  (* 0 -1-> 1 -1-> 2 ; 0 -5-> 2 *)
+  let g =
+    Csr.of_adjacency
+      ~weights:[| [ 1; 5 ]; [ 1 ]; [] |]
+      [| [ 1; 2 ]; [ 2 ]; [] |]
+  in
+  Alcotest.(check (array int)) "dists" [| 0; 1; 2 |] (Cpu.sssp g ~src:0)
+
+let test_cpu_bfs_small () =
+  let g = Csr.of_adjacency [| [ 1 ]; [ 2 ]; []; [] |] in
+  let lv = Cpu.bfs_levels g ~src:0 in
+  Alcotest.(check int) "level 2" 2 lv.(2);
+  Alcotest.(check bool) "unreachable" true (lv.(3) = Cpu.inf)
+
+let test_cpu_pagerank_sums_to_one () =
+  let g = Gen.uniform_random ~n:100 ~deg_lo:1 ~deg_hi:5 ~seed:4 in
+  let pr = Cpu.pagerank g ~iters:10 ~d:0.85 in
+  let total = Array.fold_left ( +. ) 0.0 pr in
+  Alcotest.(check (float 1e-6)) "mass conserved" 1.0 total
+
+let test_valid_coloring_detects_conflict () =
+  let g = Csr.of_adjacency [| [ 1 ]; [ 0 ] |] in
+  Alcotest.(check bool) "conflict" false (Cpu.valid_coloring g [| 1; 1 |]);
+  Alcotest.(check bool) "ok" true (Cpu.valid_coloring g [| 0; 1 |]);
+  Alcotest.(check bool) "uncolored" false (Cpu.valid_coloring g [| -1; 1 |])
+
+(* Property: Dijkstra distances satisfy the triangle inequality over every
+   edge (relaxation fixpoint). *)
+let prop_sssp_fixpoint =
+  QCheck.Test.make ~count:30 ~name:"sssp distances are a relaxation fixpoint"
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      let g = Gen.uniform_random ~n:80 ~deg_lo:0 ~deg_hi:5 ~seed in
+      let d = Cpu.sssp g ~src:0 in
+      let ok = ref true in
+      for v = 0 to g.Csr.n - 1 do
+        for e = g.Csr.row_ptr.(v) to g.Csr.row_ptr.(v + 1) - 1 do
+          if d.(v) < Cpu.inf && d.(g.Csr.col.(e)) > d.(v) + g.Csr.weights.(e)
+          then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "csr of adjacency" `Quick test_csr_of_adjacency;
+    Alcotest.test_case "csr validate" `Quick test_csr_validate_rejects_bad_target;
+    Alcotest.test_case "csr transpose" `Quick test_csr_transpose_involution;
+    Alcotest.test_case "csr symmetrize" `Quick test_csr_symmetrize;
+    Alcotest.test_case "citeseer shape" `Quick test_citeseer_like_shape;
+    Alcotest.test_case "citeseer deterministic" `Quick
+      test_citeseer_deterministic;
+    Alcotest.test_case "kron shape" `Quick test_kron_like_shape;
+    Alcotest.test_case "tree structure" `Quick test_tree_structure;
+    Alcotest.test_case "tree truncation" `Quick test_tree_truncation_cap;
+    Alcotest.test_case "tree heights/descendants" `Quick
+      test_tree_heights_descendants;
+    Alcotest.test_case "cpu sssp" `Quick test_cpu_sssp_small;
+    Alcotest.test_case "cpu bfs" `Quick test_cpu_bfs_small;
+    Alcotest.test_case "cpu pagerank mass" `Quick test_cpu_pagerank_sums_to_one;
+    Alcotest.test_case "coloring validity" `Quick
+      test_valid_coloring_detects_conflict;
+    QCheck_alcotest.to_alcotest prop_sssp_fixpoint;
+  ]

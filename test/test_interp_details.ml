@@ -1,0 +1,301 @@
+(* Detailed interpreter semantics: coalescing and L2 accounting,
+   short-circuit evaluation, arithmetic corners, partial warps, and the
+   remaining IR operators. *)
+
+open Dpc_kir
+open Dpc_kir.Build
+module Device = Dpc_sim.Device
+module Interp = Dpc_sim.Interp
+module M = Dpc_sim.Metrics
+module Mem = Dpc_gpu.Memory
+module V = Value
+
+let mk_program kernels =
+  let p = Kernel.Program.create () in
+  List.iter (Kernel.Program.add p) kernels;
+  p
+
+let run_kernel ?(n = 64) ?(grid = 1) ?(block = 32) k bufs ints =
+  let dev = Device.create (mk_program [ k ]) in
+  let handles =
+    List.map (fun (name, arr) -> Device.of_int_array dev ~name arr) bufs
+  in
+  ignore n;
+  Device.launch dev k.Kernel.kname ~grid ~block
+    (List.map (fun (b : Mem.buf) -> V.Vbuf b.Mem.id) handles
+    @ List.map (fun x -> V.Vint x) ints);
+  (dev, handles)
+
+(* --- memory coalescing ---------------------------------------------------- *)
+
+(* A single fully-coalesced warp load touches 32 consecutive ints =
+   4 segments of 128B; a strided load touches one segment per lane. *)
+let coalescing_report stride =
+  let k =
+    kernel ~name:"k" ~params:[ pi "a"; pi "out" ]
+      [ store (v "out") tid (load (v "a") (tid *: i stride)) ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let a = Device.of_int_array dev ~name:"a" (Array.make 2048 1) in
+  let out = Device.alloc_int dev ~name:"out" 32 in
+  Device.launch dev "k" ~grid:1 ~block:32
+    [ V.Vbuf a.Mem.id; V.Vbuf out.Mem.id ];
+  Device.report dev
+
+let test_coalesced_vs_strided () =
+  let seq = coalescing_report 1 in
+  let strided = coalescing_report 64 in
+  Alcotest.(check bool) "strided needs many more transactions" true
+    (strided.M.dram_transactions >= seq.M.dram_transactions + 20)
+
+let test_l2_hits_on_reuse () =
+  (* Two loads of the same cache-resident data: the second should hit L2. *)
+  let k =
+    kernel ~name:"k" ~params:[ pi "a"; pi "out" ]
+      [
+        set "x" (load (v "a") tid);
+        set "y" (load (v "a") tid);
+        store (v "out") tid (v "x" +: v "y");
+      ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let a = Device.of_int_array dev ~name:"a" (Array.make 64 3) in
+  let out = Device.alloc_int dev ~name:"out" 64 in
+  Device.launch dev "k" ~grid:1 ~block:32 [ V.Vbuf a.Mem.id; V.Vbuf out.Mem.id ];
+  let r = Device.report dev in
+  Alcotest.(check bool) "some L2 hits" true (r.M.l2_hits > 0)
+
+(* --- short-circuit evaluation ---------------------------------------------- *)
+
+let test_and_short_circuit_guards_oob () =
+  (* The canonical `i < n && a[i] ...` must not fault for i >= n. *)
+  let k =
+    kernel ~name:"k" ~params:[ pi "a"; pi "out"; p "n" ]
+      [
+        set "ok" (tid <: v "n" &&: (load (v "a") tid >: i 0));
+        store (v "out") tid (v "ok");
+      ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let a = Device.of_int_array dev ~name:"a" [| 5; 0 |] in
+  let out = Device.alloc_int dev ~name:"out" 32 in
+  Device.launch dev "k" ~grid:1 ~block:32
+    [ V.Vbuf a.Mem.id; V.Vbuf out.Mem.id; V.Vint 2 ];
+  let got = Device.read_int_array dev out.Mem.id in
+  Alcotest.(check int) "lane 0 true" 1 got.(0);
+  Alcotest.(check int) "lane 1 false (a[1]=0)" 0 got.(1);
+  Alcotest.(check int) "lane 5 guarded" 0 got.(5)
+
+let test_or_short_circuit () =
+  let k =
+    kernel ~name:"k" ~params:[ pi "a"; pi "out"; p "n" ]
+      [
+        set "ok" (tid >=: v "n" ||: (load (v "a") tid ==: i 7));
+        store (v "out") tid (v "ok");
+      ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let a = Device.of_int_array dev ~name:"a" [| 7; 1 |] in
+  let out = Device.alloc_int dev ~name:"out" 32 in
+  Device.launch dev "k" ~grid:1 ~block:32
+    [ V.Vbuf a.Mem.id; V.Vbuf out.Mem.id; V.Vint 2 ];
+  let got = Device.read_int_array dev out.Mem.id in
+  Alcotest.(check int) "lane 0: a[0]=7" 1 got.(0);
+  Alcotest.(check int) "lane 1: a[1]<>7" 0 got.(1);
+  Alcotest.(check int) "lane 9: guarded by n" 1 got.(9)
+
+(* --- arithmetic corners ----------------------------------------------------- *)
+
+let test_division_by_zero_raises () =
+  let k =
+    kernel ~name:"k" ~params:[ pi "out"; p "d" ]
+      [ store (v "out") (i 0) (i 10 /: v "d") ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let out = Device.alloc_int dev ~name:"out" 4 in
+  Alcotest.(check bool) "div by zero raises" true
+    (try
+       Device.launch dev "k" ~grid:1 ~block:1 [ V.Vbuf out.Mem.id; V.Vint 0 ];
+       false
+     with Interp.Sim_error _ -> true)
+
+let test_int_float_promotion () =
+  let k =
+    kernel ~name:"k" ~params:[ pp "out" ]
+      [
+        set "x" (i 3 +: f 0.5);
+        store (v "out") (i 0) (v "x");
+        store (v "out") (i 1) (to_float (i 7) /: f 2.0);
+        store (v "out") (i 2) (to_float (to_int (f 2.9)));
+      ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let out = Device.alloc_float dev ~name:"out" 4 in
+  Device.launch dev "k" ~grid:1 ~block:1 [ V.Vbuf out.Mem.id ];
+  let got = Device.read_float_array dev out.Mem.id in
+  Alcotest.(check (float 1e-9)) "promotion" 3.5 got.(0);
+  Alcotest.(check (float 1e-9)) "float division" 3.5 got.(1);
+  Alcotest.(check (float 1e-9)) "truncation" 2.0 got.(2)
+
+let test_bit_ops () =
+  let k =
+    kernel ~name:"k" ~params:[ pi "out" ]
+      [
+        store (v "out") (i 0) (Ast.Binop (Ast.Shl, i 3, i 4));
+        store (v "out") (i 1) (Ast.Binop (Ast.Shr, i 48, i 4));
+        store (v "out") (i 2) (Ast.Binop (Ast.Bit_and, i 12, i 10));
+        store (v "out") (i 3) (Ast.Binop (Ast.Bit_or, i 12, i 10));
+        store (v "out") (i 4) (Ast.Binop (Ast.Bit_xor, i 12, i 10));
+      ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let out = Device.alloc_int dev ~name:"out" 5 in
+  Device.launch dev "k" ~grid:1 ~block:1 [ V.Vbuf out.Mem.id ];
+  Alcotest.(check (array int)) "bit ops" [| 48; 3; 8; 14; 6 |]
+    (Device.read_int_array dev out.Mem.id)
+
+let test_buf_len () =
+  let k =
+    kernel ~name:"k" ~params:[ pi "a"; pi "out" ]
+      [ store (v "out") (i 0) (buf_len (v "a")) ]
+  in
+  let _, handles =
+    run_kernel ~block:1 k [ ("a", Array.make 17 0); ("out", [| 0 |]) ] []
+  in
+  match handles with
+  | [ _; out ] ->
+    Alcotest.(check int) "__len" 17 (Mem.read_int out 0)
+  | _ -> assert false
+
+(* --- partial warps and specials --------------------------------------------- *)
+
+let test_partial_warp () =
+  (* 40 threads = one full warp + one 8-lane warp. *)
+  let k =
+    kernel ~name:"k" ~params:[ pi "out" ]
+      [ store (v "out") tid (warp *: i 100 +: lane) ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let out = Device.alloc_int dev ~name:"out" 40 in
+  Device.launch dev "k" ~grid:1 ~block:40 [ V.Vbuf out.Mem.id ];
+  let got = Device.read_int_array dev out.Mem.id in
+  Alcotest.(check int) "lane 0 of warp 0" 0 got.(0);
+  Alcotest.(check int) "lane 31 of warp 0" 31 got.(31);
+  Alcotest.(check int) "lane 0 of warp 1" 100 got.(32);
+  Alcotest.(check int) "lane 7 of warp 1" 107 got.(39)
+
+let test_warp_size_special () =
+  let k =
+    kernel ~name:"k" ~params:[ pi "out" ] [ store (v "out") (i 0) warpsize ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let out = Device.alloc_int dev ~name:"out" 1 in
+  Device.launch dev "k" ~grid:1 ~block:1 [ V.Vbuf out.Mem.id ];
+  Alcotest.(check int) "warpSize" 32 (Device.read_int_array dev out.Mem.id).(0)
+
+(* --- loops with per-lane bounds ---------------------------------------------- *)
+
+let test_for_with_varying_bounds () =
+  (* Each lane sums 0..tid-1; exercises the shrinking-mask loop. *)
+  let k =
+    kernel ~name:"k" ~params:[ pi "out" ]
+      [
+        set "acc" (i 0);
+        for_ "j" ~from:(i 0) ~below:tid [ set "acc" (v "acc" +: v "j") ];
+        store (v "out") tid (v "acc");
+      ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let out = Device.alloc_int dev ~name:"out" 32 in
+  Device.launch dev "k" ~grid:1 ~block:32 [ V.Vbuf out.Mem.id ];
+  let got = Device.read_int_array dev out.Mem.id in
+  Alcotest.(check (array int)) "triangular sums"
+    (Array.init 32 (fun t -> t * (t - 1) / 2))
+    got
+
+let test_while_with_returns () =
+  (* Lanes return at different trip counts inside a loop. *)
+  let k =
+    kernel ~name:"k" ~params:[ pi "out" ]
+      [
+        set "j" (i 0);
+        while_ (i 1)
+          [
+            if_then (v "j" ==: tid) [ store (v "out") tid (v "j"); return ];
+            set "j" (v "j" +: i 1);
+          ];
+      ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let out = Device.alloc_int dev ~name:"out" 8 in
+  Device.launch dev "k" ~grid:1 ~block:8 [ V.Vbuf out.Mem.id ];
+  Alcotest.(check (array int)) "each lane exits at its index"
+    (Array.init 8 Fun.id)
+    (Device.read_int_array dev out.Mem.id)
+
+(* --- atomics ------------------------------------------------------------------ *)
+
+let test_atomic_cas_and_exch () =
+  let k =
+    kernel ~name:"k" ~params:[ pi "cell"; pi "out" ]
+      [
+        atomic_cas ~old:"o1" (v "cell") (i 0) ~compare:(i 0) (i 42);
+        atomic_cas ~old:"o2" (v "cell") (i 0) ~compare:(i 0) (i 99);
+        atomic_exch ~old:"o3" (v "cell") (i 0) (i 7);
+        store (v "out") (i 0) (v "o1");
+        store (v "out") (i 1) (v "o2");
+        store (v "out") (i 2) (v "o3");
+      ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let cell = Device.alloc_int dev ~name:"cell" 1 in
+  let out = Device.alloc_int dev ~name:"out" 3 in
+  Device.launch dev "k" ~grid:1 ~block:1
+    [ V.Vbuf cell.Mem.id; V.Vbuf out.Mem.id ];
+  Alcotest.(check (array int)) "cas/exch olds" [| 0; 42; 42 |]
+    (Device.read_int_array dev out.Mem.id);
+  Alcotest.(check int) "final value" 7
+    (Device.read_int_array dev cell.Mem.id).(0)
+
+let test_atomic_max () =
+  let k =
+    kernel ~name:"k" ~params:[ pi "cell" ]
+      [ atomic_max (v "cell") (i 0) tid ]
+  in
+  let dev = Device.create (mk_program [ k ]) in
+  let cell = Device.alloc_int dev ~name:"cell" 1 in
+  Device.launch dev "k" ~grid:2 ~block:64 [ V.Vbuf cell.Mem.id ];
+  Alcotest.(check int) "max of tids" 63
+    (Device.read_int_array dev cell.Mem.id).(0)
+
+(* --- launch argument arity guard ----------------------------------------------- *)
+
+let test_bad_arity_rejected () =
+  let k = kernel ~name:"k" ~params:[ pi "a"; p "n" ] [] in
+  let dev = Device.create (mk_program [ k ]) in
+  let a = Device.alloc_int dev ~name:"a" 1 in
+  Alcotest.(check bool) "arity mismatch raises" true
+    (try
+       Device.launch dev "k" ~grid:1 ~block:1 [ V.Vbuf a.Mem.id ];
+       false
+     with Interp.Sim_error _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "coalesced vs strided" `Quick test_coalesced_vs_strided;
+    Alcotest.test_case "l2 hits on reuse" `Quick test_l2_hits_on_reuse;
+    Alcotest.test_case "&& short circuit" `Quick
+      test_and_short_circuit_guards_oob;
+    Alcotest.test_case "|| short circuit" `Quick test_or_short_circuit;
+    Alcotest.test_case "div by zero" `Quick test_division_by_zero_raises;
+    Alcotest.test_case "int/float promotion" `Quick test_int_float_promotion;
+    Alcotest.test_case "bit ops" `Quick test_bit_ops;
+    Alcotest.test_case "__len" `Quick test_buf_len;
+    Alcotest.test_case "partial warp" `Quick test_partial_warp;
+    Alcotest.test_case "warpSize" `Quick test_warp_size_special;
+    Alcotest.test_case "for varying bounds" `Quick test_for_with_varying_bounds;
+    Alcotest.test_case "while with returns" `Quick test_while_with_returns;
+    Alcotest.test_case "atomic cas/exch" `Quick test_atomic_cas_and_exch;
+    Alcotest.test_case "atomic max" `Quick test_atomic_max;
+    Alcotest.test_case "bad arity" `Quick test_bad_arity_rejected;
+  ]

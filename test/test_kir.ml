@@ -1,0 +1,227 @@
+(* Tests for the kernel IR: AST utilities, kernel finalization, the
+   rewriter, pragma type, and the printer (including qcheck property
+   tests for the print->parse round-trip of random expressions). *)
+
+open Dpc_kir
+module A = Ast
+module B = Build
+open Build
+
+let mk_kernel body = Kernel.make ~name:"k" ~params:[ A.param ~ty:A.Tptr_int "a"; A.param "n" ] body
+
+(* --- finalization / slot resolution -------------------------------------- *)
+
+let test_finalize_slots () =
+  let k =
+    mk_kernel
+      [ set "x" (v "n" +: i 1); set "y" (v "x" *: i 2) ]
+  in
+  Kernel.finalize k;
+  Alcotest.(check bool) "finalized" true (Kernel.is_finalized k);
+  (* params a, n + locals x, y = 4 slots *)
+  Alcotest.(check int) "slot count" 4 k.Kernel.nslots;
+  (* every occurrence resolved *)
+  A.iter_block k.Kernel.body
+    ~on_stmt:(fun _ -> ())
+    ~on_expr:(fun e ->
+      match e with
+      | A.Var v -> Alcotest.(check bool) "slot set" true (v.A.slot >= 0)
+      | _ -> ())
+
+let test_finalize_same_name_same_slot () =
+  let k = mk_kernel [ set "x" (i 1); set "x" (v "x" +: i 1) ] in
+  Kernel.finalize k;
+  let slots = ref [] in
+  A.iter_block k.Kernel.body
+    ~on_stmt:(fun s ->
+      match s with A.Let (v, _) -> slots := v.A.slot :: !slots | _ -> ())
+    ~on_expr:(fun _ -> ());
+  match !slots with
+  | [ s1; s2 ] -> Alcotest.(check int) "same slot" s1 s2
+  | _ -> Alcotest.fail "expected two lets"
+
+let test_malloc_sites_numbered () =
+  let k =
+    mk_kernel
+      [
+        malloc ~scope:A.Per_warp "b1" (i 8);
+        malloc ~scope:A.Per_grid "b2" (i 8);
+      ]
+  in
+  Kernel.finalize k;
+  Alcotest.(check int) "two sites" 2 k.Kernel.nsites
+
+let test_duplicate_param_rejected () =
+  Alcotest.(check bool) "duplicate rejected" true
+    (try
+       ignore (Kernel.make ~name:"bad" ~params:[ A.param "x"; A.param "x" ] []);
+       false
+     with Kernel.Invalid_kernel _ -> true)
+
+let test_program_duplicate_kernel () =
+  let p = Kernel.Program.create () in
+  Kernel.Program.add p (mk_kernel []);
+  Alcotest.(check bool) "duplicate kernel rejected" true
+    (try
+       Kernel.Program.add p (mk_kernel []);
+       false
+     with Kernel.Invalid_kernel _ -> true)
+
+(* --- copy independence ---------------------------------------------------- *)
+
+let test_copy_has_fresh_vars () =
+  let s = set "x" (v "y" +: i 1) in
+  let s' = A.copy_stmt s in
+  (match (s, s') with
+  | A.Let (v1, A.Binop (_, A.Var u1, _)), A.Let (v2, A.Binop (_, A.Var u2, _))
+    ->
+    Alcotest.(check bool) "let var fresh" true (v1 != v2);
+    Alcotest.(check bool) "use var fresh" true (u1 != u2);
+    Alcotest.(check string) "names preserved" v1.A.name v2.A.name
+  | _ -> Alcotest.fail "unexpected shapes");
+  (* Resolving one copy must not touch the other. *)
+  let k1 = mk_kernel [ s ] and k2 = mk_kernel [ s' ] in
+  Kernel.finalize k1;
+  ignore k2;
+  (match s' with
+  | A.Let (v, _) -> Alcotest.(check int) "copy unresolved" (-1) v.A.slot
+  | _ -> ())
+
+(* --- analyses --------------------------------------------------------------- *)
+
+let test_needs_block_uniform () =
+  Alcotest.(check bool) "sync" true (A.needs_block_uniform A.Syncthreads);
+  Alcotest.(check bool) "barrier" true (A.needs_block_uniform A.Grid_barrier);
+  Alcotest.(check bool) "nested" true
+    (A.needs_block_uniform (if_then (i 1) [ A.Syncthreads ]));
+  Alcotest.(check bool) "plain" false
+    (A.needs_block_uniform (set "x" (i 1)))
+
+let test_collect_launches_order () =
+  let body =
+    [
+      launch "a" ~grid:(i 1) ~block:(i 1) [];
+      if_then (i 1) [ launch "b" ~grid:(i 1) ~block:(i 1) [] ];
+    ]
+  in
+  Alcotest.(check (list string)) "order" [ "a"; "b" ]
+    (List.map (fun (l : A.launch) -> l.A.callee) (A.collect_launches body))
+
+let test_free_reads () =
+  let block =
+    [
+      set "x" (v "a" +: i 1);
+      set "y" (v "x" +: v "b");
+      store (v "out") (i 0) (v "y");
+    ]
+  in
+  Alcotest.(check (list string)) "free reads"
+    [ "a"; "b"; "out" ]
+    (Rewrite.free_reads ~bound:[] block)
+
+let test_rewrite_subst_specials () =
+  let body = [ set "t" (tid +: (bid *: bdim)) ] in
+  let out =
+    Rewrite.subst_specials
+      (function
+        | A.Thread_idx -> Some (i 0)
+        | A.Block_idx -> Some (i 0)
+        | _ -> None)
+      body
+  in
+  (* No Thread_idx/Block_idx should remain. *)
+  let remaining = ref 0 in
+  A.iter_block out
+    ~on_stmt:(fun _ -> ())
+    ~on_expr:(fun e ->
+      match e with
+      | A.Special (A.Thread_idx | A.Block_idx) -> incr remaining
+      | _ -> ());
+  Alcotest.(check int) "substituted" 0 !remaining
+
+let test_rewrite_launch_hook () =
+  let body =
+    [ if_then (i 1) [ launch "c" ~grid:(i 1) ~block:(i 1) [] ] ]
+  in
+  let hooks =
+    { Rewrite.no_hooks with
+      Rewrite.launch = (fun _ -> Some [ set "replaced" (i 1) ]) }
+  in
+  let out = Rewrite.rw_block hooks body in
+  Alcotest.(check int) "launch gone" 0 (List.length (A.collect_launches out))
+
+(* --- printer round-trip (property) ---------------------------------------- *)
+
+let gen_expr : A.expr QCheck.Gen.t =
+  let open QCheck.Gen in
+  sized @@ fix (fun self n ->
+      if n <= 0 then
+        oneof
+          [
+            map (fun i -> A.Const (Value.Vint i)) (int_range (-100) 100);
+            return (v "x");
+            return (v "y");
+            return tid;
+            return bdim;
+          ]
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            map2 (fun a b -> A.Binop (A.Add, a, b)) sub sub;
+            map2 (fun a b -> A.Binop (A.Mul, a, b)) sub sub;
+            map2 (fun a b -> A.Binop (A.Lt, a, b)) sub sub;
+            map2 (fun a b -> A.Binop (A.And, a, b)) sub sub;
+            map2 (fun a b -> A.Binop (A.Min, a, b)) sub sub;
+            map (fun a -> A.Unop (A.Neg, a)) sub;
+            map2 (fun a i -> A.Load (a, i)) (return (v "buf")) sub;
+          ])
+
+(* The printer's output is stable under re-parsing: after one parse/print
+   normalization (e.g. a negative literal becomes a unary minus), further
+   round trips are the identity on the printed text. *)
+let prop_print_parse_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"print/parse expression round-trip"
+    (QCheck.make ~print:Pp.expr gen_expr)
+    (fun e ->
+      let kernel_of body =
+        Kernel.make ~name:"k"
+          ~params:[ A.param ~ty:A.Tptr_int "buf"; A.param "x"; A.param "y" ]
+          body
+      in
+      let s1 = Pp.kernel (kernel_of [ A.Let (A.var "z", e) ]) in
+      let s2 = Pp.kernel (Dpc_minicu.Parser.parse_kernel_string s1) in
+      let s3 = Pp.kernel (Dpc_minicu.Parser.parse_kernel_string s2) in
+      String.equal s2 s3)
+
+let test_pp_precedence_cases () =
+  let cases =
+    [
+      ((v "a" +: v "b") *: v "c", "(a + b) * c");
+      (v "a" +: (v "b" *: v "c"), "a + b * c");
+      (neg (v "a" +: i 1), "-(a + 1)");
+      (min_ (v "a") (v "b"), "min(a, b)");
+    ]
+  in
+  List.iter
+    (fun (e, expect) ->
+      Alcotest.(check string) expect expect (Pp.expr e))
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "finalize slots" `Quick test_finalize_slots;
+    Alcotest.test_case "same name same slot" `Quick
+      test_finalize_same_name_same_slot;
+    Alcotest.test_case "malloc sites" `Quick test_malloc_sites_numbered;
+    Alcotest.test_case "duplicate param" `Quick test_duplicate_param_rejected;
+    Alcotest.test_case "duplicate kernel" `Quick test_program_duplicate_kernel;
+    Alcotest.test_case "copy fresh vars" `Quick test_copy_has_fresh_vars;
+    Alcotest.test_case "needs block uniform" `Quick test_needs_block_uniform;
+    Alcotest.test_case "collect launches" `Quick test_collect_launches_order;
+    Alcotest.test_case "free reads" `Quick test_free_reads;
+    Alcotest.test_case "rewrite specials" `Quick test_rewrite_subst_specials;
+    Alcotest.test_case "rewrite launch hook" `Quick test_rewrite_launch_hook;
+    QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
+    Alcotest.test_case "pp precedence" `Quick test_pp_precedence_cases;
+  ]

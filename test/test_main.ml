@@ -1,0 +1,18 @@
+let () =
+  Alcotest.run "dpc"
+    [
+      ("util", Test_util.suite);
+      ("gpu", Test_gpu.suite);
+      ("kir", Test_kir.suite);
+      ("alloc", Test_alloc.suite);
+      ("graph", Test_graph.suite);
+      ("sim", Test_sim.suite);
+      ("interp-details", Test_interp_details.suite);
+      ("timing", Test_timing.suite);
+      ("minicu", Test_minicu.suite);
+      ("transform", Test_transform.suite);
+      ("codegen", Test_codegen.suite);
+      ("apps", Test_apps.suite);
+      ("free-launch", Test_free_launch.suite);
+      ("experiments", Test_experiments.suite);
+    ]

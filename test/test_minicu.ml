@@ -1,0 +1,276 @@
+(* MiniCU front-end tests: lexer, pragma parser, parser, and the
+   parse -> unparse -> parse round-trip with the IR printer. *)
+
+module T = Dpc_minicu.Token
+module Lexer = Dpc_minicu.Lexer
+module Parser = Dpc_minicu.Parser
+module Pragma_parser = Dpc_minicu.Pragma_parser
+module Pragma = Dpc_kir.Pragma
+module Pp = Dpc_kir.Pp
+module Kernel = Dpc_kir.Kernel
+module V = Dpc_kir.Value
+module Device = Dpc_sim.Device
+
+let toks src = List.map (fun l -> l.Lexer.tok) (Lexer.tokenize src)
+
+(* --- lexer ------------------------------------------------------------- *)
+
+let test_lex_basics () =
+  Alcotest.(check bool) "idents and ops" true
+    (toks "x = a + 42;"
+    = [ T.Ident "x"; T.Assign; T.Ident "a"; T.Plus; T.Int_lit 42; T.Semi;
+        T.Eof ])
+
+let test_lex_launch_brackets () =
+  Alcotest.(check bool) "<<< and >>>" true
+    (toks "<<<1, 2>>>"
+    = [ T.Triple_lt; T.Int_lit 1; T.Comma; T.Int_lit 2; T.Triple_gt; T.Eof ])
+
+let test_lex_shift_vs_triple () =
+  Alcotest.(check bool) "<< is shift" true
+    (toks "a << 2" = [ T.Ident "a"; T.Shl; T.Int_lit 2; T.Eof ])
+
+let test_lex_floats () =
+  (match toks "1.5f" with
+  | [ T.Float_lit f; T.Eof ] -> Alcotest.(check (float 1e-9)) "1.5f" 1.5 f
+  | _ -> Alcotest.fail "expected one float");
+  (match toks "0x1.8p+1f" with
+  | [ T.Float_lit f; T.Eof ] -> Alcotest.(check (float 1e-9)) "hex float" 3.0 f
+  | _ -> Alcotest.fail "expected one hex float");
+  match toks "2e3" with
+  | [ T.Float_lit f; T.Eof ] -> Alcotest.(check (float 1e-9)) "exp float" 2000.0 f
+  | _ -> Alcotest.fail "expected one exp float"
+
+let test_lex_comments () =
+  Alcotest.(check bool) "comments stripped" true
+    (toks "a // hi\n/* multi\nline */ b" = [ T.Ident "a"; T.Ident "b"; T.Eof ])
+
+let test_lex_pragma_line () =
+  match toks "#pragma dp consldt(grid)\nx = 1;" with
+  | T.Pragma p :: _ -> Alcotest.(check string) "pragma text" "dp consldt(grid)" p
+  | _ -> Alcotest.fail "expected pragma token"
+
+let test_lex_error_char () =
+  Alcotest.(check bool) "bad char raises" true
+    (try
+       ignore (toks "a $ b");
+       false
+     with Lexer.Lex_error _ -> true)
+
+(* --- pragma parser ------------------------------------------------------ *)
+
+let test_pragma_full () =
+  match
+    Pragma_parser.parse
+      "dp consldt(block) buffer(custom, perBufferSize: 256, totalSize: \
+       1048576) work(curr, next) threads(128) blocks(26)"
+  with
+  | Some p ->
+    Alcotest.(check bool) "granularity" true (p.Pragma.granularity = Pragma.Block);
+    Alcotest.(check bool) "allocator" true (p.Pragma.buffer = Pragma.Custom);
+    Alcotest.(check bool) "perBufferSize" true
+      (p.Pragma.per_buffer_size = Some (Pragma.Size_const 256));
+    Alcotest.(check (option int)) "totalSize" (Some 1048576) p.Pragma.total_size;
+    Alcotest.(check (list string)) "work" [ "curr"; "next" ] p.Pragma.work;
+    Alcotest.(check (option int)) "threads" (Some 128) p.Pragma.threads;
+    Alcotest.(check (option int)) "blocks" (Some 26) p.Pragma.blocks
+  | None -> Alcotest.fail "expected a dp pragma"
+
+let test_pragma_size_var () =
+  match Pragma_parser.parse "dp consldt(warp) buffer(halloc, perBufferSize: nchildren) work(c)" with
+  | Some p ->
+    Alcotest.(check bool) "halloc" true (p.Pragma.buffer = Pragma.Halloc);
+    Alcotest.(check bool) "size var" true
+      (p.Pragma.per_buffer_size = Some (Pragma.Size_var "nchildren"))
+  | None -> Alcotest.fail "expected a dp pragma"
+
+let test_pragma_requires_consldt () =
+  Alcotest.(check bool) "missing consldt rejected" true
+    (try
+       ignore (Pragma_parser.parse "dp work(x)");
+       false
+     with Pragma_parser.Pragma_error _ -> true)
+
+let test_pragma_requires_work () =
+  Alcotest.(check bool) "missing work rejected" true
+    (try
+       ignore (Pragma_parser.parse "dp consldt(grid)");
+       false
+     with Pragma_parser.Pragma_error _ -> true)
+
+let test_pragma_non_dp () =
+  Alcotest.(check bool) "non-dp pragma ignored" true
+    (Pragma_parser.parse "unroll 4" = None)
+
+let test_pragma_roundtrip () =
+  let p =
+    Pragma.make ~granularity:Pragma.Grid ~work:[ "node" ]
+      ~buffer:Pragma.Custom
+      ~per_buffer_size:(Pragma.Size_const 64) ~threads:256 ()
+  in
+  let printed = Pragma.to_string p in
+  (* printed form starts with "#pragma "; strip it for the parser. *)
+  let body = String.sub printed 8 (String.length printed - 8) in
+  match Pragma_parser.parse body with
+  | Some q -> Alcotest.(check bool) "round-trip equal" true (p = q)
+  | None -> Alcotest.fail "round-trip parse failed"
+
+(* --- parser -------------------------------------------------------------- *)
+
+let sssp_like_src =
+  {|
+__global__ void sssp(int* row, int* col, int* w, int* dist, int* updated, int n, int threshold) {
+  var tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    var start = row[tid];
+    var end = row[tid + 1];
+    var degree = end - start;
+    if (degree > threshold) {
+      launch sssp_child<<<1, 32>>>(col, w, dist, updated, start, end, dist[tid]);
+    } else {
+      for (var j = start; j < end; j = j + 1) {
+        var alt = dist[tid] + w[j];
+        if (alt < dist[col[j]]) {
+          atomicMin(dist, col[j], alt);
+          updated[0] = 1;
+        }
+      }
+    }
+  }
+}
+|}
+
+let test_parse_kernel_structure () =
+  let k = Parser.parse_kernel_string sssp_like_src in
+  Alcotest.(check string) "name" "sssp" k.Kernel.kname;
+  Alcotest.(check int) "params" 7 (List.length k.Kernel.params);
+  let launches = Dpc_kir.Ast.collect_launches k.Kernel.body in
+  Alcotest.(check int) "one launch" 1 (List.length launches);
+  Alcotest.(check string) "callee" "sssp_child"
+    (List.hd launches).Dpc_kir.Ast.callee
+
+let test_parse_pragma_attached () =
+  let src =
+    {|
+__global__ void parent(int* work, int n) {
+  var tid = blockIdx.x * blockDim.x + threadIdx.x;
+  #pragma dp consldt(block) buffer(custom, perBufferSize: 256) work(tid)
+  launch child<<<1, 32>>>(work, tid);
+}
+__global__ void child(int* work, int item) {
+  work[item] = 1;
+}
+|}
+  in
+  let prog = Parser.parse_program src in
+  let parent = Kernel.Program.find prog "parent" in
+  match Dpc_kir.Ast.collect_launches parent.Kernel.body with
+  | [ l ] -> (
+    match l.Dpc_kir.Ast.pragma with
+    | Some p ->
+      Alcotest.(check bool) "block granularity" true
+        (p.Pragma.granularity = Pragma.Block);
+      Alcotest.(check (list string)) "work vars" [ "tid" ] p.Pragma.work
+    | None -> Alcotest.fail "pragma not attached")
+  | _ -> Alcotest.fail "expected one launch"
+
+let test_parse_rejects_noncanonical_for () =
+  let src =
+    "__global__ void k(int* a) { for (var i = 0; i < 10; i = i + 2) { a[i] = \
+     1; } }"
+  in
+  Alcotest.(check bool) "non-unit stride rejected" true
+    (try
+       ignore (Parser.parse_kernel_string src);
+       false
+     with Parser.Parse_error _ -> true)
+
+let test_parse_error_has_line () =
+  let src = "__global__ void k(int* a) {\n  a[0] = ;\n}" in
+  try
+    ignore (Parser.parse_kernel_string src);
+    Alcotest.fail "expected parse error"
+  with Parser.Parse_error { line; _ } -> Alcotest.(check int) "line" 2 line
+
+(* --- round-trip ------------------------------------------------------------ *)
+
+let test_roundtrip_fixpoint () =
+  let k1 = Parser.parse_kernel_string sssp_like_src in
+  let printed1 = Pp.kernel k1 in
+  let k2 = Parser.parse_kernel_string printed1 in
+  let printed2 = Pp.kernel k2 in
+  Alcotest.(check string) "unparse . parse fixpoint" printed1 printed2
+
+let test_parse_then_execute () =
+  let src =
+    {|
+__global__ void scale(float* x, float* y, float a, int n) {
+  var i = blockIdx.x * blockDim.x + threadIdx.x;
+  if (i < n) {
+    y[i] = a * x[i] + 1.0f;
+  }
+}
+|}
+  in
+  let prog = Parser.parse_program src in
+  let dev = Device.create prog in
+  let n = 100 in
+  let x =
+    Device.of_float_array dev ~name:"x"
+      (Array.init n (fun i -> Float.of_int i))
+  in
+  let y = Device.alloc_float dev ~name:"y" n in
+  Device.launch dev "scale" ~grid:4 ~block:32
+    [ V.Vbuf x.Dpc_gpu.Memory.id; V.Vbuf y.Dpc_gpu.Memory.id; V.Vfloat 2.0;
+      V.Vint n ];
+  let got = Device.read_float_array dev y.Dpc_gpu.Memory.id in
+  Alcotest.(check (float 1e-6)) "y[10]" 21.0 got.(10);
+  Alcotest.(check (float 1e-6)) "y[0]" 1.0 got.(0)
+
+let test_shared_decl_parsing () =
+  let src =
+    {|
+__global__ void r(int* d) {
+  __shared__ int tmp[64];
+  tmp[threadIdx.x] = d[threadIdx.x];
+  __syncthreads();
+  d[threadIdx.x] = tmp[blockDim.x - 1 - threadIdx.x];
+}
+|}
+  in
+  let k = Parser.parse_kernel_string src in
+  Alcotest.(check bool) "shared decl" true (k.Kernel.shared = [ ("tmp", 64) ]);
+  (* shared stores must have been recognized as Shared_store *)
+  let has_shared_store =
+    List.exists
+      (function Dpc_kir.Ast.Shared_store _ -> true | _ -> false)
+      k.Kernel.body
+  in
+  Alcotest.(check bool) "shared store recognized" true has_shared_store
+
+let suite =
+  [
+    Alcotest.test_case "lex basics" `Quick test_lex_basics;
+    Alcotest.test_case "lex launch brackets" `Quick test_lex_launch_brackets;
+    Alcotest.test_case "lex shift vs triple" `Quick test_lex_shift_vs_triple;
+    Alcotest.test_case "lex floats" `Quick test_lex_floats;
+    Alcotest.test_case "lex comments" `Quick test_lex_comments;
+    Alcotest.test_case "lex pragma line" `Quick test_lex_pragma_line;
+    Alcotest.test_case "lex error char" `Quick test_lex_error_char;
+    Alcotest.test_case "pragma full" `Quick test_pragma_full;
+    Alcotest.test_case "pragma size var" `Quick test_pragma_size_var;
+    Alcotest.test_case "pragma requires consldt" `Quick
+      test_pragma_requires_consldt;
+    Alcotest.test_case "pragma requires work" `Quick test_pragma_requires_work;
+    Alcotest.test_case "pragma non-dp" `Quick test_pragma_non_dp;
+    Alcotest.test_case "pragma roundtrip" `Quick test_pragma_roundtrip;
+    Alcotest.test_case "parse kernel structure" `Quick
+      test_parse_kernel_structure;
+    Alcotest.test_case "parse pragma attached" `Quick test_parse_pragma_attached;
+    Alcotest.test_case "parse rejects bad for" `Quick
+      test_parse_rejects_noncanonical_for;
+    Alcotest.test_case "parse error line" `Quick test_parse_error_has_line;
+    Alcotest.test_case "roundtrip fixpoint" `Quick test_roundtrip_fixpoint;
+    Alcotest.test_case "parse then execute" `Quick test_parse_then_execute;
+    Alcotest.test_case "shared decl parsing" `Quick test_shared_decl_parsing;
+  ]

@@ -1,0 +1,171 @@
+(* Unit tests of the discrete-event timing model, run on the deliberately
+   tiny [Config.test_device] so concurrency and pool effects appear at
+   small problem sizes. *)
+
+open Dpc_kir.Build
+module Cfg = Dpc_gpu.Config
+module Device = Dpc_sim.Device
+module M = Dpc_sim.Metrics
+module V = Dpc_kir.Value
+module Kernel = Dpc_kir.Kernel
+
+let mk_program kernels =
+  let p = Kernel.Program.create () in
+  List.iter (Kernel.Program.add p) kernels;
+  p
+
+(* A kernel doing a fixed amount of per-thread busy work. *)
+let busy_kernel name iters =
+  kernel ~name ~params:[ pi "out" ]
+    [
+      set "acc" (i 0);
+      for_ "k" ~from:(i 0) ~below:(i iters) [ set "acc" (v "acc" +: v "k") ];
+      store (v "out") (i 0) (v "acc");
+    ]
+
+let run_report ?(cfg = Cfg.test_device) kernels ~entry ~grid ~block =
+  let dev = Device.create ~cfg (mk_program kernels) in
+  let out = Device.alloc_int dev ~name:"out" 4 in
+  Device.launch dev entry ~grid ~block [ V.Vbuf out.Dpc_gpu.Memory.id ];
+  Device.report dev
+
+let test_more_blocks_take_longer () =
+  (* Enough per-block work that execution dominates the host launch
+     latency included in the end-to-end cycle count. *)
+  let r1 = run_report [ busy_kernel "b" 2000 ] ~entry:"b" ~grid:1 ~block:32 in
+  (* 32 blocks on a 2-SMX device with 4 blocks/SMX: ~4 sequential waves. *)
+  let r8 = run_report [ busy_kernel "b" 2000 ] ~entry:"b" ~grid:32 ~block:32 in
+  Alcotest.(check bool) "more blocks, more cycles" true
+    (r8.M.cycles > r1.M.cycles *. 1.5)
+
+let test_occupancy_higher_with_more_warps () =
+  let r1 = run_report [ busy_kernel "b" 500 ] ~entry:"b" ~grid:1 ~block:32 in
+  let r4 = run_report [ busy_kernel "b" 500 ] ~entry:"b" ~grid:8 ~block:64 in
+  Alcotest.(check bool) "occupancy grows" true
+    (r4.M.occupancy > r1.M.occupancy)
+
+(* Launch storms must overflow the tiny device's 16-entry fixed pool. *)
+let test_pool_overflow_penalty () =
+  let child = busy_kernel "child" 5 in
+  let parent =
+    kernel ~name:"parent" ~params:[ pi "out" ]
+      [ launch "child" ~grid:(i 1) ~block:(i 32) [ v "out" ] ]
+  in
+  let r =
+    run_report [ child; parent ] ~entry:"parent" ~grid:4 ~block:64
+  in
+  (* 4 blocks x 64 threads = 256 launches >> 16 pool entries *)
+  Alcotest.(check int) "launch count" 256 r.M.device_launches;
+  Alcotest.(check bool) "pool overflowed" true (r.M.max_pending > 16);
+  Alcotest.(check bool) "virtualized launches recorded" true
+    (r.M.virtualized_launches > 0)
+
+let test_sync_swap_recorded () =
+  let child = busy_kernel "child" 50 in
+  let parent =
+    kernel ~name:"parent" ~params:[ pi "out" ]
+      [
+        if_then (tid ==: i 0)
+          [ launch "child" ~grid:(i 2) ~block:(i 32) [ v "out" ] ];
+        device_sync;
+        store (v "out") (i 1) (i 7);
+      ]
+  in
+  let r = run_report [ child; parent ] ~entry:"parent" ~grid:1 ~block:32 in
+  Alcotest.(check bool) "sync caused a swap" true (r.M.swapped_syncs >= 1)
+
+let test_launch_latency_raises_total () =
+  let child = busy_kernel "child" 5 in
+  let parent =
+    kernel ~name:"parent" ~params:[ pi "out" ]
+      [
+        if_then (tid ==: i 0)
+          [ launch "child" ~grid:(i 1) ~block:(i 32) [ v "out" ] ];
+      ]
+  in
+  let run lat =
+    let cfg = { Cfg.test_device with Cfg.device_launch_latency = lat } in
+    (run_report ~cfg [ child; parent ] ~entry:"parent" ~grid:1 ~block:32)
+      .M.cycles
+  in
+  Alcotest.(check bool) "latency visible end-to-end" true
+    (run 50_000 -. run 1_000 > 40_000.0)
+
+let test_host_launches_serialize () =
+  let k = busy_kernel "b" 50 in
+  let dev = Device.create ~cfg:Cfg.test_device (mk_program [ k ]) in
+  let out = Device.alloc_int dev ~name:"out" 4 in
+  Device.launch dev "b" ~grid:1 ~block:32 [ V.Vbuf out.Dpc_gpu.Memory.id ];
+  let one = (Device.report dev).M.cycles in
+  Device.launch dev "b" ~grid:1 ~block:32 [ V.Vbuf out.Dpc_gpu.Memory.id ];
+  let two = (Device.report dev).M.cycles in
+  Alcotest.(check bool) "two launches take about twice as long" true
+    (two > one *. 1.7)
+
+let test_fcfs_not_slower_than_ps () =
+  (* Without contention modeling every block runs at its solo rate, so the
+     FCFS discipline can only speed things up. *)
+  let mk sched =
+    let dev =
+      Device.create ~cfg:Cfg.test_device ~scheduler:sched
+        (mk_program [ busy_kernel "b" 300 ])
+    in
+    let out = Device.alloc_int dev ~name:"out" 4 in
+    Device.launch dev "b" ~grid:8 ~block:64 [ V.Vbuf out.Dpc_gpu.Memory.id ];
+    (Device.report dev).M.cycles
+  in
+  Alcotest.(check bool) "fcfs <= ps" true
+    (mk Dpc_sim.Timing.Fcfs <= mk Dpc_sim.Timing.Processor_sharing +. 1.0)
+
+let test_report_deterministic () =
+  let run () =
+    (run_report [ busy_kernel "b" 100 ] ~entry:"b" ~grid:4 ~block:64).M.cycles
+  in
+  Alcotest.(check (float 0.0)) "same cycles both runs" (run ()) (run ())
+
+let suite =
+  [
+    Alcotest.test_case "blocks serialize" `Quick test_more_blocks_take_longer;
+    Alcotest.test_case "occupancy grows with warps" `Quick
+      test_occupancy_higher_with_more_warps;
+    Alcotest.test_case "pool overflow" `Quick test_pool_overflow_penalty;
+    Alcotest.test_case "sync swap" `Quick test_sync_swap_recorded;
+    Alcotest.test_case "launch latency" `Quick test_launch_latency_raises_total;
+    Alcotest.test_case "host launches serialize" `Quick
+      test_host_launches_serialize;
+    Alcotest.test_case "fcfs vs ps" `Quick test_fcfs_not_slower_than_ps;
+    Alcotest.test_case "deterministic" `Quick test_report_deterministic;
+  ]
+
+let test_timeline_renders () =
+  let dev =
+    Device.create ~cfg:Cfg.test_device (mk_program [ busy_kernel "b" 200 ])
+  in
+  let out = Device.alloc_int dev ~name:"out" 4 in
+  Device.launch dev "b" ~grid:4 ~block:32 [ V.Vbuf out.Dpc_gpu.Memory.id ];
+  ignore (Device.report dev);
+  let chart =
+    Dpc_sim.Timeline.of_session ~width:40 ~height:4 (Device.session dev)
+  in
+  let lines = String.split_on_char '\n' chart in
+  (* 4 rows + axis + caption *)
+  Alcotest.(check bool) "has rows" true (List.length lines >= 6);
+  Alcotest.(check bool) "shows some utilization" true
+    (String.exists (fun c -> c = '#' || c = '@' || c = '=') chart)
+
+let test_timeline_bucketize_conserves_mass () =
+  (* Time-weighted warp mass is preserved by bucketing. *)
+  let samples = [ (0.0, 10); (50.0, 20); (75.0, 0) ] in
+  let total = 100.0 in
+  let buckets = Dpc_sim.Timeline.bucketize ~width:10 ~total samples in
+  let mass = Array.fold_left ( +. ) 0.0 buckets *. (total /. 10.0) in
+  (* 10 warps * 50 cycles + 20 * 25 + 0 * 25 = 1000 *)
+  Alcotest.(check (float 1e-6)) "mass" 1000.0 mass
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "timeline renders" `Quick test_timeline_renders;
+      Alcotest.test_case "timeline mass" `Quick
+        test_timeline_bucketize_conserves_mass;
+    ]

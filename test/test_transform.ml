@@ -1,0 +1,382 @@
+(* End-to-end tests of the consolidation transforms: annotated MiniCU
+   source -> transform -> simulate, comparing results and launch counts
+   against the basic-dp execution. *)
+
+module Parser = Dpc_minicu.Parser
+module Pragma = Dpc_kir.Pragma
+module Kernel = Dpc_kir.Kernel
+module Pp = Dpc_kir.Pp
+module V = Dpc_kir.Value
+module Device = Dpc_sim.Device
+module Transform = Dpc.Transform
+module Cs = Dpc.Config_select
+module Mem = Dpc_gpu.Memory
+
+let cfg = Dpc_gpu.Config.k20c
+
+(* ----------------------------------------------------------------------
+   Non-recursive irregular loop: each thread owns a row of a ragged array;
+   heavy rows are delegated to a child kernel that doubles each element.
+   ---------------------------------------------------------------------- *)
+
+let ragged_src gran =
+  Printf.sprintf
+    {|
+__global__ void child(int* row_ptr, int* data, int node) {
+  var t = threadIdx.x;
+  var start = row_ptr[node];
+  var end = row_ptr[node + 1];
+  while (start + t < end) {
+    data[start + t] = data[start + t] * 2;
+    t = t + blockDim.x;
+  }
+}
+__global__ void parent(int* row_ptr, int* data, int n, int threshold) {
+  var tid = blockIdx.x * blockDim.x + threadIdx.x;
+  if (tid < n) {
+    var node = tid;
+    var deg = row_ptr[node + 1] - row_ptr[node];
+    if (deg > threshold) {
+      #pragma dp consldt(%s) work(node)
+      launch child<<<1, 64>>>(row_ptr, data, node);
+    } else {
+      for (var j = row_ptr[node]; j < row_ptr[node + 1]; j = j + 1) {
+        data[j] = data[j] * 2;
+      }
+    }
+  }
+}
+|}
+    gran
+
+(* Rows 0..n-1, row i has (i mod 7) * 5 elements. *)
+let make_ragged n =
+  let degrees = Array.init n (fun i -> i mod 7 * 5) in
+  let row_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    row_ptr.(i + 1) <- row_ptr.(i) + degrees.(i)
+  done;
+  let data = Array.init row_ptr.(n) (fun i -> i + 1) in
+  (row_ptr, data)
+
+let expected_ragged data = Array.map (fun x -> x * 2) data
+
+let run_ragged_basic n =
+  let prog = Parser.parse_program (ragged_src "grid") in
+  let dev = Device.create ~cfg prog in
+  let row_ptr, data = make_ragged n in
+  let rp = Device.of_int_array dev ~name:"row_ptr" row_ptr in
+  let d = Device.of_int_array dev ~name:"data" data in
+  Device.launch dev "parent" ~grid:((n + 127) / 128) ~block:128
+    [ V.Vbuf rp.Mem.id; V.Vbuf d.Mem.id; V.Vint n; V.Vint 10 ];
+  (Device.read_int_array dev d.Mem.id, Device.report dev)
+
+let run_ragged_consolidated gran n =
+  let prog = Parser.parse_program (ragged_src gran) in
+  let r = Transform.apply ~cfg ~parent:"parent" prog in
+  let dev = Device.create ~cfg r.Transform.program in
+  let row_ptr, data = make_ragged n in
+  let rp = Device.of_int_array dev ~name:"row_ptr" row_ptr in
+  let d = Device.of_int_array dev ~name:"data" data in
+  Device.launch dev r.Transform.entry ~grid:((n + 127) / 128) ~block:128
+    [ V.Vbuf rp.Mem.id; V.Vbuf d.Mem.id; V.Vint n; V.Vint 10 ];
+  (Device.read_int_array dev d.Mem.id, Device.report dev, r)
+
+let test_ragged_correct gran () =
+  let n = 300 in
+  let _, data = make_ragged n in
+  let got, _, r = run_ragged_consolidated gran n in
+  Alcotest.(check (array int))
+    (gran ^ " result matches")
+    (expected_ragged data) got;
+  Alcotest.(check bool) "not recursive" false r.Transform.recursive
+
+let test_ragged_launch_reduction () =
+  let n = 3000 in
+  let _, basic = run_ragged_basic n in
+  let _, grid_r, _ = run_ragged_consolidated "grid" n in
+  let _, block_r, _ = run_ragged_consolidated "block" n in
+  let _, warp_r, _ = run_ragged_consolidated "warp" n in
+  let open Dpc_sim.Metrics in
+  Alcotest.(check bool) "basic launches many" true (basic.device_launches > 100);
+  Alcotest.(check int) "grid launches once" 1 grid_r.device_launches;
+  Alcotest.(check bool) "block-level reduces launches" true
+    (block_r.device_launches < basic.device_launches / 4);
+  Alcotest.(check bool) "warp <= basic/8" true
+    (warp_r.device_launches <= basic.device_launches / 8);
+  Alcotest.(check bool) "warp >= block" true
+    (warp_r.device_launches >= block_r.device_launches);
+  Alcotest.(check bool) "grid faster than basic" true
+    (grid_r.cycles < basic.cycles)
+
+let test_generated_code_roundtrips () =
+  let prog = Parser.parse_program (ragged_src "block") in
+  let r = Transform.apply ~cfg ~parent:"parent" prog in
+  (* Generated kernels must be valid MiniCU: print and re-parse. *)
+  let printed = Pp.program r.Transform.program in
+  let reparsed = Parser.parse_program printed in
+  Alcotest.(check int) "same kernel count"
+    (List.length (Kernel.Program.kernels r.Transform.program))
+    (List.length (Kernel.Program.kernels reparsed));
+  Alcotest.(check string) "fixpoint" printed (Pp.program reparsed)
+
+(* ----------------------------------------------------------------------
+   Recursive kernel with postwork: subtree sizes in a tree (TD-like).
+   ---------------------------------------------------------------------- *)
+
+let tree_src gran =
+  Printf.sprintf
+    {|
+__global__ void desc(int* child_ptr, int* child_list, int* out, int nnodes, int node) {
+  var t = blockIdx.x * blockDim.x + threadIdx.x;
+  var cstart = child_ptr[node];
+  var nchild = child_ptr[node + 1] - cstart;
+  var c = 0 - 1;
+  var nc = 0;
+  if (t < nchild) {
+    c = child_list[cstart + t];
+    nc = child_ptr[c + 1] - child_ptr[c];
+    if (nc == 0) {
+      out[c] = 0;
+    } else {
+      #pragma dp consldt(%s) buffer(custom, perBufferSize: nnodes) work(c)
+      launch desc<<<1, 256>>>(child_ptr, child_list, out, nnodes, c);
+    }
+  }
+  cudaDeviceSynchronize();
+  if (c >= 0) {
+    var nc2 = child_ptr[c + 1] - child_ptr[c];
+    if (nc2 > 0) {
+      var acc = 0;
+      for (var k = child_ptr[c]; k < child_ptr[c] + nc2; k = k + 1) {
+        acc = acc + out[child_list[k]] + 1;
+      }
+      out[c] = acc;
+    }
+  }
+}
+|}
+    gran
+
+(* A deterministic small tree in CSR-ish (child_ptr / child_list) form:
+   node i has children decided by a simple rule; returns the arrays plus
+   the expected descendant counts. *)
+let make_tree () =
+  (* Three-level tree: root 0 with 6 children; child i has i mod 4 leaves. *)
+  let kids = Array.make 30 [] in
+  let next = ref 1 in
+  let root_kids = List.init 6 (fun _ -> let c = !next in incr next; c) in
+  kids.(0) <- root_kids;
+  List.iteri
+    (fun i c ->
+      kids.(c) <-
+        List.init (i mod 4) (fun _ -> let g = !next in incr next; g))
+    root_kids;
+  let n = !next in
+  let child_ptr = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    child_ptr.(i + 1) <- child_ptr.(i) + List.length kids.(i)
+  done;
+  let child_list = Array.make (Int.max 1 child_ptr.(n)) 0 in
+  for i = 0 to n - 1 do
+    List.iteri (fun j c -> child_list.(child_ptr.(i) + j) <- c) kids.(i)
+  done;
+  let rec descendants i =
+    List.fold_left (fun acc c -> acc + 1 + descendants c) 0 kids.(i)
+  in
+  (n, child_ptr, child_list, Array.init n descendants)
+
+let run_tree_basic () =
+  let n, child_ptr, child_list, expect = make_tree () in
+  let prog = Parser.parse_program (tree_src "grid") in
+  let dev = Device.create ~cfg prog in
+  let cp = Device.of_int_array dev ~name:"child_ptr" child_ptr in
+  let cl = Device.of_int_array dev ~name:"child_list" child_list in
+  let out = Device.alloc_int dev ~name:"out" n in
+  let root_children = child_ptr.(1) - child_ptr.(0) in
+  Device.launch dev "desc"
+    ~grid:((root_children + 31) / 32)
+    ~block:32
+    [ V.Vbuf cp.Mem.id; V.Vbuf cl.Mem.id; V.Vbuf out.Mem.id; V.Vint n;
+      V.Vint 0 ];
+  let got = Device.read_int_array dev out.Mem.id in
+  (* The root itself is processed by nobody (host handles it). *)
+  got.(0) <- expect.(0);
+  (got, expect, Device.report dev)
+
+let run_tree_consolidated gran =
+  let n, child_ptr, child_list, expect = make_tree () in
+  let prog = Parser.parse_program (tree_src gran) in
+  let r = Transform.apply ~cfg ~parent:"desc" prog in
+  Alcotest.(check bool) "recursive" true r.Transform.recursive;
+  let dev = Device.create ~cfg r.Transform.program in
+  let cp = Device.of_int_array dev ~name:"child_ptr" child_ptr in
+  let cl = Device.of_int_array dev ~name:"child_list" child_list in
+  let out = Device.alloc_int dev ~name:"out" n in
+  (* Seed: the consolidated kernel takes (uniform args..., buf, cnt). *)
+  let seed = Device.of_int_array dev ~name:"seed" [| 0 |] in
+  let seed_cnt = Device.of_int_array dev ~name:"seed_cnt" [| 1 |] in
+  let grid, block = Transform.launch_config cfg r ~items:1 in
+  Device.launch dev r.Transform.entry ~grid ~block
+    [ V.Vbuf cp.Mem.id; V.Vbuf cl.Mem.id; V.Vbuf out.Mem.id; V.Vint n;
+      V.Vbuf seed.Mem.id; V.Vbuf seed_cnt.Mem.id ];
+  let got = Device.read_int_array dev out.Mem.id in
+  (got, expect, Device.report dev, r)
+
+let test_tree_basic_correct () =
+  let got, expect, report = run_tree_basic () in
+  Alcotest.(check (array int)) "basic-dp descendants" expect got;
+  Alcotest.(check bool) "nested launches happened" true
+    (report.Dpc_sim.Metrics.device_launches > 3)
+
+let test_tree_consolidated_correct gran () =
+  let got, expect, _, _ = run_tree_consolidated gran in
+  (* As in basic-dp, the seed item's own postwork belongs to the host. *)
+  got.(0) <- expect.(0);
+  Alcotest.(check (array int)) (gran ^ " descendants") expect got
+
+let test_tree_launch_reduction () =
+  let _, _, basic = run_tree_basic () in
+  let _, _, grid_r, _ = run_tree_consolidated "grid" in
+  Alcotest.(check bool) "grid-level launches fewer kernels" true
+    (grid_r.Dpc_sim.Metrics.device_launches
+    < basic.Dpc_sim.Metrics.device_launches)
+
+let test_tree_post_kernel_expected () =
+  let _, _, _, r = run_tree_consolidated "grid" in
+  Alcotest.(check (option string)) "postwork kernel generated"
+    (Some "desc_post_grid") r.Transform.post_kernel;
+  let _, _, _, rw = run_tree_consolidated "warp" in
+  Alcotest.(check (option string)) "warp level inlines postwork" None
+    rw.Transform.post_kernel
+
+(* ----------------------------------------------------------------------
+   Contract violations
+   ---------------------------------------------------------------------- *)
+
+let expect_unsupported src =
+  let prog = Parser.parse_program src in
+  Alcotest.(check bool) "raises Unsupported" true
+    (try
+       ignore (Transform.apply ~cfg ~parent:"parent" prog);
+       false
+     with Transform.Unsupported _ -> true)
+
+let test_reject_unannotated () =
+  expect_unsupported
+    {|
+__global__ void child(int* d, int i) { d[i] = 1; }
+__global__ void parent(int* d) {
+  var i = threadIdx.x;
+  launch child<<<1, 1>>>(d, i);
+}
+|}
+
+let test_reject_work_not_arg () =
+  expect_unsupported
+    {|
+__global__ void child(int* d, int i) { d[i] = 1; }
+__global__ void parent(int* d) {
+  var i = threadIdx.x;
+  var j = i + 1;
+  #pragma dp consldt(block) work(j)
+  launch child<<<1, 1>>>(d, i);
+}
+|}
+
+let test_reject_uniform_arg_reading_work () =
+  expect_unsupported
+    {|
+__global__ void child(int* d, int i, int x) { d[i] = x; }
+__global__ void parent(int* d) {
+  var i = threadIdx.x;
+  #pragma dp consldt(block) work(i)
+  launch child<<<1, 1>>>(d, i, i * 2);
+}
+|}
+
+let test_reject_child_with_return () =
+  expect_unsupported
+    {|
+__global__ void child(int* d, int i) {
+  if (i < 0) { return; }
+  d[i] = 1;
+}
+__global__ void parent(int* d) {
+  var i = threadIdx.x;
+  #pragma dp consldt(warp) work(i)
+  launch child<<<1, 1>>>(d, i);
+}
+|}
+
+let test_reject_postwork_using_tid () =
+  expect_unsupported
+    {|
+__global__ void child(int* d, int i) { d[i] = 1; }
+__global__ void parent(int* d, int n) {
+  var i = blockIdx.x * blockDim.x + threadIdx.x;
+  #pragma dp consldt(grid) work(i)
+  launch child<<<1, 1>>>(d, i);
+  cudaDeviceSynchronize();
+  d[threadIdx.x] = d[threadIdx.x] + 1;
+}
+|}
+
+(* ----------------------------------------------------------------------
+   Configuration selection unit checks
+   ---------------------------------------------------------------------- *)
+
+let test_kc_configs () =
+  let pragma = Pragma.make ~granularity:Pragma.Grid ~work:[ "x" ] () in
+  let cnt = Dpc_kir.Build.i 7 in
+  let check_policy policy expect_blocks =
+    match
+      Cs.select cfg ~policy ~pragma ~shape:Cs.Solo_thread ~cnt
+    with
+    | Dpc_kir.Ast.Const (V.Vint b), Dpc_kir.Ast.Const (V.Vint t) ->
+      Alcotest.(check int) "blocks" expect_blocks b;
+      Alcotest.(check int) "threads" 256 t
+    | _ -> Alcotest.fail "expected constant config"
+  in
+  (* fill = 13 SMX * (2048/256 = 8 blocks) = 104 *)
+  check_policy (Cs.Kc 1) 104;
+  check_policy (Cs.Kc 16) 6;
+  check_policy (Cs.Kc 32) 3;
+  check_policy (Cs.Explicit (5, 256)) 5
+
+let test_default_policies () =
+  Alcotest.(check bool) "warp default KC_32" true
+    (Cs.default_policy Pragma.Warp = Cs.Kc 32);
+  Alcotest.(check bool) "block default KC_16" true
+    (Cs.default_policy Pragma.Block = Cs.Kc 16);
+  Alcotest.(check bool) "grid default KC_1" true
+    (Cs.default_policy Pragma.Grid = Cs.Kc 1)
+
+let suite =
+  [
+    Alcotest.test_case "ragged warp correct" `Quick (test_ragged_correct "warp");
+    Alcotest.test_case "ragged block correct" `Quick
+      (test_ragged_correct "block");
+    Alcotest.test_case "ragged grid correct" `Quick (test_ragged_correct "grid");
+    Alcotest.test_case "ragged launch reduction" `Quick
+      test_ragged_launch_reduction;
+    Alcotest.test_case "generated code roundtrips" `Quick
+      test_generated_code_roundtrips;
+    Alcotest.test_case "tree basic correct" `Quick test_tree_basic_correct;
+    Alcotest.test_case "tree warp correct" `Quick
+      (test_tree_consolidated_correct "warp");
+    Alcotest.test_case "tree block correct" `Quick
+      (test_tree_consolidated_correct "block");
+    Alcotest.test_case "tree grid correct" `Quick
+      (test_tree_consolidated_correct "grid");
+    Alcotest.test_case "tree launch reduction" `Quick test_tree_launch_reduction;
+    Alcotest.test_case "tree post kernel" `Quick test_tree_post_kernel_expected;
+    Alcotest.test_case "reject unannotated" `Quick test_reject_unannotated;
+    Alcotest.test_case "reject work not arg" `Quick test_reject_work_not_arg;
+    Alcotest.test_case "reject uniform reads work" `Quick
+      test_reject_uniform_arg_reading_work;
+    Alcotest.test_case "reject child return" `Quick test_reject_child_with_return;
+    Alcotest.test_case "reject postwork tid" `Quick test_reject_postwork_using_tid;
+    Alcotest.test_case "KC configs" `Quick test_kc_configs;
+    Alcotest.test_case "default policies" `Quick test_default_policies;
+  ]
