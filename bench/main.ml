@@ -111,9 +111,14 @@ let run_bechamel () =
 
 (* --- 2. ablation tables ---------------------------------------------------- *)
 
+(* The ablation sweeps are rows of fully independent simulations; each
+   table fans its rows out over [pool] and appends them in submission
+   order, so the printed tables match the serial run byte for byte. *)
+module Pool = Dpc_util.Pool
+
 (* A1: how sensitive is each variant to the device-side launch latency?
    basic-dp should track it linearly; grid-level should barely notice. *)
-let ablation_launch_latency () =
+let ablation_launch_latency pool =
   let t =
     Table.create
       ~title:
@@ -122,21 +127,21 @@ let ablation_launch_latency () =
       ~headers:[ "latency (cycles)"; "basic-dp"; "grid-level"; "ratio" ]
       ~aligns:Table.[ Left; Right; Right; Right ] ()
   in
-  List.iter
+  Pool.parallel_map pool
     (fun lat ->
       let cfg = { Cfg.k20c with Cfg.device_launch_latency = lat } in
       let b = Dpc_apps.Sssp.run ~cfg ~scale:1500 H.Basic in
       let g = Dpc_apps.Sssp.run ~cfg ~scale:1500 grid in
-      Table.add_row t
-        [ string_of_int lat;
-          Printf.sprintf "%.0f" b.M.cycles;
-          Printf.sprintf "%.0f" g.M.cycles;
-          Table.fmt_ratio (b.M.cycles /. g.M.cycles) ])
-    [ 1_000; 5_000; 20_000 ];
+      [ string_of_int lat;
+        Printf.sprintf "%.0f" b.M.cycles;
+        Printf.sprintf "%.0f" g.M.cycles;
+        Table.fmt_ratio (b.M.cycles /. g.M.cycles) ])
+    [ 1_000; 5_000; 20_000 ]
+  |> List.iter (Table.add_row t);
   Table.print t
 
 (* A2: processor-sharing vs FCFS SMX scheduling. *)
-let ablation_scheduler () =
+let ablation_scheduler pool =
   let t =
     Table.create
       ~title:"Ablation A2: SMX scheduler model, SSSP cycles"
@@ -179,18 +184,25 @@ let ablation_scheduler () =
     done;
     (Device.report dev).M.cycles
   in
-  List.iter
-    (fun (label, variant) ->
-      Table.add_row t
-        [ label;
-          Printf.sprintf "%.0f" (run Dpc_sim.Timing.Processor_sharing variant);
-          Printf.sprintf "%.0f" (run Dpc_sim.Timing.Fcfs variant) ])
-    [ ("basic-dp", `Basic); ("grid-level", `Grid) ];
+  (* Four independent (variant x scheduler) simulations. *)
+  let cells =
+    Pool.parallel_map pool
+      (fun (variant, sched) -> Printf.sprintf "%.0f" (run sched variant))
+      (List.concat_map
+         (fun v ->
+           [ (v, Dpc_sim.Timing.Processor_sharing); (v, Dpc_sim.Timing.Fcfs) ])
+         [ `Basic; `Grid ])
+  in
+  (match cells with
+  | [ b_ps; b_fcfs; g_ps; g_fcfs ] ->
+    Table.add_row t [ "basic-dp"; b_ps; b_fcfs ];
+    Table.add_row t [ "grid-level"; g_ps; g_fcfs ]
+  | _ -> assert false);
   Table.print t
 
 (* A3: pending-pool capacity sweep — the cudaDeviceSetLimit analogue the
    paper mentions in Section III.B. *)
-let ablation_pool_capacity () =
+let ablation_pool_capacity pool =
   let t =
     Table.create
       ~title:
@@ -200,22 +212,22 @@ let ablation_pool_capacity () =
         [ "pool entries"; "cycles"; "virtualized launches"; "max pending" ]
       ~aligns:Table.[ Left; Right; Right; Right ] ()
   in
-  List.iter
+  Pool.parallel_map pool
     (fun cap ->
       let cfg = { Cfg.k20c with Cfg.fixed_pool_capacity = cap } in
       let r = Dpc_apps.Sssp.run ~cfg ~scale:3000 H.Basic in
-      Table.add_row t
-        [ string_of_int cap;
-          Printf.sprintf "%.0f" r.M.cycles;
-          string_of_int r.M.virtualized_launches;
-          string_of_int r.M.max_pending ])
-    [ 256; 2048; 16384 ];
+      [ string_of_int cap;
+        Printf.sprintf "%.0f" r.M.cycles;
+        string_of_int r.M.virtualized_launches;
+        string_of_int r.M.max_pending ])
+    [ 256; 2048; 16384 ]
+  |> List.iter (Table.add_row t);
   Table.print t
 
 (* A4: consolidation-buffer sizing.  Small explicit perBufferSize values
    overflow and fall back to direct launches; the report counts both the
    fallback launches and the cycles they cost. *)
-let ablation_buffer_sizing () =
+let ablation_buffer_sizing pool =
   let t =
     Table.create
       ~title:
@@ -255,9 +267,11 @@ __global__ void parent(int* row_ptr, int* data, int n, int threshold) {
       cap
   in
   let n = 3000 in
-  let g = Dpc_graph.Gen.citeseer_like ~n ~seed:5 in
-  List.iter
+  Pool.parallel_map pool
     (fun cap ->
+      (* Each task builds its own graph and device: nothing simulated is
+         shared across domains. *)
+      let g = Dpc_graph.Gen.citeseer_like ~n ~seed:5 in
       let prog = Dpc_minicu.Parser.parse_program (source cap) in
       let r = Dpc.Transform.apply ~cfg:Cfg.k20c ~parent:"parent" prog in
       let dev = Device.create ~cfg:Cfg.k20c r.Dpc.Transform.program in
@@ -270,32 +284,32 @@ __global__ void parent(int* row_ptr, int* data, int n, int threshold) {
         ~block:128
         [ V.Vbuf rp.Mem.id; V.Vbuf data.Mem.id; V.Vint n; V.Vint 8 ];
       let rep = Device.report dev in
-      Table.add_row t
-        [ string_of_int cap;
-          Printf.sprintf "%.0f" rep.M.cycles;
-          string_of_int rep.M.device_launches ])
-    [ 4; 32; 512 ];
+      [ string_of_int cap;
+        Printf.sprintf "%.0f" rep.M.cycles;
+        string_of_int rep.M.device_launches ])
+    [ 4; 32; 512 ]
+  |> List.iter (Table.add_row t);
   Table.print t
 
 (* A5: the basic-dp slowdown grows with problem scale (why the paper's
    full-size runs show 2-3 orders of magnitude). *)
-let ablation_scale_growth () =
+let ablation_scale_growth pool =
   let t =
     Table.create
       ~title:"Ablation A5: basic-dp slowdown vs no-dp as SSSP scale grows"
       ~headers:[ "nodes"; "basic-dp cycles"; "no-dp cycles"; "slowdown" ]
       ~aligns:Table.[ Left; Right; Right; Right ] ()
   in
-  List.iter
+  Pool.parallel_map pool
     (fun n ->
       let b = Dpc_apps.Sssp.run ~scale:n H.Basic in
       let f = Dpc_apps.Sssp.run ~scale:n H.Flat in
-      Table.add_row t
-        [ string_of_int n;
-          Printf.sprintf "%.0f" b.M.cycles;
-          Printf.sprintf "%.0f" f.M.cycles;
-          Table.fmt_ratio (b.M.cycles /. f.M.cycles) ])
-    [ 1000; 2000; 4000; 8000 ];
+      [ string_of_int n;
+        Printf.sprintf "%.0f" b.M.cycles;
+        Printf.sprintf "%.0f" f.M.cycles;
+        Table.fmt_ratio (b.M.cycles /. f.M.cycles) ])
+    [ 1000; 2000; 4000; 8000 ]
+  |> List.iter (Table.add_row t);
   Table.print t
 
 (* A6: the Free Launch (MICRO'15) thread-reuse baseline vs consolidation
@@ -367,11 +381,14 @@ __global__ void parent(int* row_ptr, int* data, int n, int threshold) {
   Table.print t
 
 let () =
+  (* Microbenchmarks stay serial (they measure wall time); the ablation
+     sweeps fan out over domains. *)
   run_bechamel ();
-  ablation_launch_latency ();
-  ablation_scheduler ();
-  ablation_pool_capacity ();
-  ablation_buffer_sizing ();
-  ablation_scale_growth ();
+  let pool = Pool.create ~jobs:(Pool.default_jobs ()) in
+  ablation_launch_latency pool;
+  ablation_scheduler pool;
+  ablation_pool_capacity pool;
+  ablation_buffer_sizing pool;
+  ablation_scale_growth pool;
   ablation_free_launch ();
   print_endline "bench: done (see bin/experiments.exe for the paper figures)"

@@ -6,7 +6,11 @@
      experiments fig6            kernel configurations on TD
      experiments fig7-10         the overall evaluation figures
      experiments summary         Section V.C average speedups
-     experiments all             everything above *)
+     experiments all             everything above
+
+   Every simulation in a sweep is independent, so the runner fans them
+   out over OCaml domains (--jobs N; --jobs 1 is the serial path).  The
+   printed tables are byte-identical regardless of the job count. *)
 
 open Cmdliner
 module E = Dpc_experiments
@@ -27,20 +31,24 @@ let needs_suite = function
   | "fig7" | "fig8" | "fig9" | "fig10" | "summary" | "all" -> true
   | _ -> false
 
-let run figures quiet scale =
+let run figures quiet scale jobs =
   let verbose = not quiet in
+  if jobs < 1 then begin
+    Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
+    exit 2
+  end;
   let figures = if figures = [] then [ "all" ] else figures in
   let suite =
     if List.exists needs_suite figures then
-      Some (E.Suite.collect ~verbose ?scale ())
+      Some (E.Suite.collect ~verbose ?scale ~jobs ())
     else None
   in
   let get_suite () = Option.get suite in
   List.iter
     (fun f ->
       match String.lowercase_ascii f with
-      | "fig5" -> E.Fig5_allocators.print ~verbose ?scale ()
-      | "fig6" -> E.Fig6_config.print ~verbose ?scale ()
+      | "fig5" -> E.Fig5_allocators.print ~verbose ?scale ~jobs ()
+      | "fig6" -> E.Fig6_config.print ~verbose ?scale ~jobs ()
       | "fig7" -> print_suite_figs (get_suite ()) `Fig7
       | "fig8" -> print_suite_figs (get_suite ()) `Fig8
       | "fig9" -> print_suite_figs (get_suite ()) `Fig9
@@ -53,9 +61,9 @@ let run figures quiet scale =
         print_suite_figs s `Fig9;
         print_suite_figs s `Fig10;
         print_suite_figs s `Summary;
-        E.Fig5_allocators.print ~verbose ?scale ();
+        E.Fig5_allocators.print ~verbose ?scale ~jobs ();
         print_newline ();
-        E.Fig6_config.print ~verbose ?scale ()
+        E.Fig6_config.print ~verbose ?scale ~jobs ()
       | other ->
         Printf.eprintf
           "unknown figure %S (fig5 fig6 fig7 fig8 fig9 fig10 summary all)\n"
@@ -77,8 +85,16 @@ let scale =
        ~doc:"Override each app's problem size (interpreted per app: node \
              count, log2 node count, or tree shrink divisor).")
 
+let jobs =
+  Arg.(value & opt int (Dpc_util.Pool.default_jobs ())
+       & info [ "j"; "jobs" ] ~docv:"N"
+       ~doc:"Run up to $(docv) independent simulations concurrently on \
+             OCaml domains (default: cores - 1; 1 = serial).  Output \
+             tables are byte-identical for any value.")
+
 let cmd =
   let doc = "regenerate the paper's evaluation tables and figures" in
-  Cmd.v (Cmd.info "experiments" ~doc) Term.(const run $ figures $ quiet $ scale)
+  Cmd.v (Cmd.info "experiments" ~doc)
+    Term.(const run $ figures $ quiet $ scale $ jobs)
 
 let () = exit (Cmd.eval' cmd)

@@ -77,6 +77,10 @@ type t = {
   mutable bytes_served : int;
   mutable pool_fallbacks : int;  (** pool exhausted -> default path *)
   mutable live_bytes : (int, int) Hashtbl.t;  (** buf id -> bytes *)
+  heap_ids : (int, unit) Hashtbl.t;
+      (** buffers actually serviced by the default heap (pool-exhaustion
+          fallbacks, halloc oversize requests): their [free] must pay the
+          default heap's cost, not the owning allocator's *)
 }
 
 let create ?(pool_bytes = 500 * 1024 * 1024) kind =
@@ -95,6 +99,7 @@ let create ?(pool_bytes = 500 * 1024 * 1024) kind =
     bytes_served = 0;
     pool_fallbacks = 0;
     live_bytes = Hashtbl.create 64;
+    heap_ids = Hashtbl.create 16;
   }
 
 let kind t = t.kind
@@ -115,36 +120,46 @@ let alloc ?(contention = 0) t mem ~name ~count =
   t.allocs <- t.allocs + 1;
   t.bytes_served <- t.bytes_served + bytes;
   let queue = contention * t.costs.serial_cycles in
-  let cost =
+  (* Requests punted to the default heap pay its full price, including its
+     own (heavier) lock-queue term. *)
+  let heap_cost = default_costs.alloc_cycles + (contention * default_costs.serial_cycles) in
+  let cost, on_heap =
     match t.kind with
-    | Default -> t.costs.alloc_cycles + queue
+    | Default -> (t.costs.alloc_cycles + queue, false)
     | Halloc ->
-      (* Hashed slab lookup; carving a fresh slab costs extra. *)
-      let cls = size_class bytes in
-      if t.slab.class_free.(cls) > 0 then begin
-        t.slab.class_free.(cls) <- t.slab.class_free.(cls) - 1;
-        t.costs.alloc_cycles + queue
-      end
+      if bytes > t.slab.slab_bytes then
+        (* Oversize request: no slab can hold it; halloc forwards it to the
+           device heap instead of carving slabs that yield zero blocks. *)
+        (heap_cost, true)
       else begin
-        t.slab.slabs_carved <- t.slab.slabs_carved + 1;
-        let block = Int.max 16 (16 lsl cls) in
-        t.slab.class_free.(cls) <-
-          t.slab.class_free.(cls) + Int.max 0 ((t.slab.slab_bytes / block) - 1);
-        t.costs.alloc_cycles + queue + 800
+        (* Hashed slab lookup; carving a fresh slab costs extra. *)
+        let cls = size_class bytes in
+        if t.slab.class_free.(cls) > 0 then begin
+          t.slab.class_free.(cls) <- t.slab.class_free.(cls) - 1;
+          (t.costs.alloc_cycles + queue, false)
+        end
+        else begin
+          t.slab.slabs_carved <- t.slab.slabs_carved + 1;
+          let block = Int.max 16 (16 lsl cls) in
+          t.slab.class_free.(cls) <-
+            t.slab.class_free.(cls) + Int.max 0 ((t.slab.slab_bytes / block) - 1);
+          (t.costs.alloc_cycles + queue + 800, false)
+        end
       end
     | Pool ->
       if t.pool_used + bytes <= t.pool_bytes then begin
         t.pool_used <- t.pool_used + bytes;
-        t.costs.alloc_cycles
+        (t.costs.alloc_cycles, false)
       end
       else begin
         (* Pool exhausted: fall back to the default heap. *)
         t.pool_fallbacks <- t.pool_fallbacks + 1;
-        default_costs.alloc_cycles
+        (heap_cost, true)
       end
   in
   let buf = Memory.alloc_int mem ~name count in
   Hashtbl.replace t.live_bytes buf.Memory.id bytes;
+  if on_heap then Hashtbl.replace t.heap_ids buf.Memory.id ();
   (buf, cost)
 
 (** Release a buffer previously returned by [alloc]; returns the cycle
@@ -152,16 +167,19 @@ let alloc ?(contention = 0) t mem ~name ~count =
     is reset wholesale between kernels via {!reset_pool}. *)
 let free t (buf : Memory.buf) =
   t.frees <- t.frees + 1;
+  let on_heap = Hashtbl.mem t.heap_ids buf.Memory.id in
+  Hashtbl.remove t.heap_ids buf.Memory.id;
   (match Hashtbl.find_opt t.live_bytes buf.Memory.id with
   | Some bytes ->
     Hashtbl.remove t.live_bytes buf.Memory.id;
     (match t.kind with
-    | Halloc ->
+    | Halloc when not on_heap ->
       let cls = size_class bytes in
       t.slab.class_free.(cls) <- t.slab.class_free.(cls) + 1
-    | Default | Pool -> ())
+    | Halloc | Default | Pool -> ())
   | None -> ());
-  t.costs.free_cycles
+  (* Buffers that came from the default heap pay its release cost. *)
+  if on_heap then default_costs.free_cycles else t.costs.free_cycles
 
 (** Reset the bump pointer of the pre-allocated pool (between host
     launches); no-op for the other allocators. *)

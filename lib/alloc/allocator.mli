@@ -47,7 +47,9 @@ val alloc :
   Dpc_gpu.Memory.buf * int
 
 (** Release a buffer; returns the cycle cost.  The pool allocator reclaims
-    nothing per-buffer (bump allocation). *)
+    nothing per-buffer (bump allocation).  Buffers that were actually
+    serviced by the default heap — pool-exhaustion fallbacks and halloc
+    oversize requests — pay the default heap's release cost. *)
 val free : t -> Dpc_gpu.Memory.buf -> int
 
 (** Reset the pool's bump pointer (between logical phases); no-op for the

@@ -81,9 +81,15 @@ let select (cfg : Cfg.t) ~policy ~(pragma : Pragma.t) ~(shape : child_shape)
     match shape with
     | Solo_thread ->
       (* Thread-mapped child: as many threads as items, in one block of up
-         to the hardware maximum. *)
+         to the hardware maximum.  The ceiling division yields 0 blocks
+         when the buffer is empty, so clamp the grid to >= 1 (matching the
+         block-mapped arm): a launch of 0 blocks is not a valid
+         configuration. *)
       let cap = cfg.Cfg.max_threads_per_block in
-      ( A.Binop (A.Div, A.Binop (A.Add, cnt, const (cap - 1)), const cap),
+      ( A.Binop
+          ( A.Max,
+            A.Binop (A.Div, A.Binop (A.Add, cnt, const (cap - 1)), const cap),
+            const 1 ),
         A.Binop (A.Min, A.Binop (A.Max, cnt, const 1), const cap) )
     | Solo_block _ | Multi_block ->
       (* Block-mapped child: one block per item, clamped to the hardware

@@ -23,26 +23,49 @@ type result = {
 let granularities = [ Pragma.Warp; Pragma.Block; Pragma.Grid ]
 let allocators = [ Alloc.Default; Alloc.Halloc; Alloc.Pool ]
 
-let run ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) () : result =
+(* One independent simulation per table cell, plus the two references. *)
+type task = Basic_ref | Flat_ref | Cell of Pragma.granularity * Alloc.kind
+
+let run ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) ?(jobs = 1) () :
+    result =
   let log fmt =
     Printf.ksprintf (fun s -> if verbose then Printf.eprintf "[fig5] %s\n%!" s) fmt
   in
-  log "SSSP basic-dp...";
-  let basic = Dpc_apps.Sssp.run ?scale ~cfg H.Basic in
-  log "SSSP no-dp...";
-  let flat = Dpc_apps.Sssp.run ?scale ~cfg H.Flat in
+  let tasks =
+    Basic_ref :: Flat_ref
+    :: List.concat_map
+         (fun g -> List.map (fun a -> Cell (g, a)) allocators)
+         granularities
+  in
+  let pool = Dpc_util.Pool.create ~jobs in
+  let reports =
+    Dpc_util.Pool.parallel_map pool
+      (fun task ->
+        match task with
+        | Basic_ref ->
+          log "SSSP basic-dp...";
+          Dpc_apps.Sssp.run ?scale ~cfg H.Basic
+        | Flat_ref ->
+          log "SSSP no-dp...";
+          Dpc_apps.Sssp.run ?scale ~cfg H.Flat
+        | Cell (g, a) ->
+          log "SSSP %s / %s..."
+            (Pragma.granularity_to_string g)
+            (Alloc.kind_to_string a);
+          Dpc_apps.Sssp.run ?scale ~cfg ~alloc:a (H.Cons g))
+      tasks
+  in
+  let tagged = List.combine tasks reports in
+  let report_of t = List.assoc t tagged in
+  let basic = report_of Basic_ref in
+  let flat = report_of Flat_ref in
   let cells =
-    List.concat_map
-      (fun g ->
-        List.map
-          (fun a ->
-            log "SSSP %s / %s..."
-              (Pragma.granularity_to_string g)
-              (Alloc.kind_to_string a);
-            let r = Dpc_apps.Sssp.run ?scale ~cfg ~alloc:a (H.Cons g) in
-            ((g, a), basic.M.cycles /. r.M.cycles))
-          allocators)
-      granularities
+    List.filter_map
+      (function
+        | Cell (g, a), (r : M.report) ->
+          Some ((g, a), basic.M.cycles /. r.M.cycles)
+        | (Basic_ref | Flat_ref), _ -> None)
+      tagged
   in
   {
     basic_cycles = basic.M.cycles;
@@ -69,5 +92,5 @@ let to_table (r : result) =
       Table.fmt_ratio r.flat_speedup; Table.fmt_ratio r.flat_speedup ];
   t
 
-let print ?verbose ?scale ?cfg () =
-  Table.print (to_table (run ?verbose ?scale ?cfg ()))
+let print ?verbose ?scale ?cfg ?jobs () =
+  Table.print (to_table (run ?verbose ?scale ?cfg ?jobs ()))

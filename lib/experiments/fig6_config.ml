@@ -47,7 +47,15 @@ type dataset_result = {
   best_configs : (Pragma.granularity * (int * int)) list;
 }
 
-let run_dataset ?(verbose = true) ?scale ~cfg ~dataset () : dataset_result =
+(* One independent simulation per task: the basic-dp reference, each
+   fixed-policy point, and each candidate of the exhaustive sweep. *)
+type task =
+  | T_basic
+  | T_point of Pragma.granularity * policy_point
+  | T_cand of Pragma.granularity * (int * int)
+
+let run_dataset ?(verbose = true) ?scale ~cfg ~jobs ~dataset () :
+    dataset_result =
   let dname = match dataset with `Dataset1 -> "dataset1" | `Dataset2 -> "dataset2" in
   let log fmt =
     Printf.ksprintf
@@ -60,8 +68,47 @@ let run_dataset ?(verbose = true) ?scale ~cfg ~dataset () : dataset_result =
     Dpc_apps.Tree_descendants.run ?policy ~cfg ?scale ~max_nodes:40_000
       ~dataset variant
   in
-  log "basic-dp...";
-  let basic = run H.Basic in
+  let policy_of = function
+    | Kc1 -> Cs.Kc 1
+    | Kc16 -> Cs.Kc 16
+    | Kc32 -> Cs.Kc 32
+    | One_to_one -> Cs.One_to_one
+    | Exhaustive -> assert false
+  in
+  let tasks =
+    T_basic
+    :: List.concat_map
+         (fun g ->
+           List.concat_map
+             (fun point ->
+               match point with
+               | Exhaustive ->
+                 List.map (fun c -> T_cand (g, c)) (exhaustive_space cfg)
+               | _ -> [ T_point (g, point) ])
+             policy_points)
+         granularities
+  in
+  let pool = Dpc_util.Pool.create ~jobs in
+  let reports =
+    Dpc_util.Pool.parallel_map pool
+      (fun task ->
+        match task with
+        | T_basic ->
+          log "basic-dp...";
+          Some (run H.Basic)
+        | T_point (g, point) ->
+          log "%s %s..." (Pragma.granularity_to_string g) (point_name point);
+          Some (run ~policy:(policy_of point) (H.Cons g))
+        | T_cand (g, c) -> (
+          let b, t = c in
+          try Some (run ~policy:(Cs.Explicit (b, t)) (H.Cons g))
+          with _ -> None (* configs too small for the workload *)))
+      tasks
+  in
+  let tagged = List.combine tasks reports in
+  let basic =
+    match List.assoc T_basic tagged with Some r -> r | None -> assert false
+  in
   let speedup (r : M.report) = basic.M.cycles /. r.M.cycles in
   let cells = ref [] and best_configs = ref [] in
   List.iter
@@ -71,34 +118,31 @@ let run_dataset ?(verbose = true) ?scale ~cfg ~dataset () : dataset_result =
         (fun point ->
           match point with
           | Exhaustive ->
-            (* Sweep the configuration space; keep the best. *)
+            (* Reduce the sweep's candidates in submission order: the
+               first strictly-better candidate wins, exactly as the
+               serial sweep did. *)
             let best = ref neg_infinity and best_cfg = ref (0, 0) in
             List.iter
-              (fun (b, t) ->
-                try
-                  let r = run ~policy:(Cs.Explicit (b, t)) (H.Cons g) in
+              (fun (task, r) ->
+                match (task, r) with
+                | T_cand (g', c), Some r when g' = g ->
                   let s = speedup r in
                   if s > !best then begin
                     best := s;
-                    best_cfg := (b, t)
+                    best_cfg := c
                   end
-                with _ -> () (* configs too small for the workload *))
-              (exhaustive_space cfg);
+                | _ -> ())
+              tagged;
             log "%s exhaustive best %s at (%d,%d)" gname
               (Table.fmt_ratio !best) (fst !best_cfg) (snd !best_cfg);
             cells := ((g, Exhaustive), !best) :: !cells;
             best_configs := (g, !best_cfg) :: !best_configs
           | _ ->
-            let policy =
-              match point with
-              | Kc1 -> Cs.Kc 1
-              | Kc16 -> Cs.Kc 16
-              | Kc32 -> Cs.Kc 32
-              | One_to_one -> Cs.One_to_one
-              | Exhaustive -> assert false
+            let r =
+              match List.assoc (T_point (g, point)) tagged with
+              | Some r -> r
+              | None -> assert false
             in
-            log "%s %s..." gname (point_name point);
-            let r = run ~policy (H.Cons g) in
             cells := ((g, point), speedup r) :: !cells)
         policy_points)
     granularities;
@@ -107,10 +151,11 @@ let run_dataset ?(verbose = true) ?scale ~cfg ~dataset () : dataset_result =
 
 type result = dataset_result list
 
-let run ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) () : result =
+let run ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) ?(jobs = 1) () :
+    result =
   [
-    run_dataset ~verbose ?scale ~cfg ~dataset:`Dataset1 ();
-    run_dataset ~verbose ?scale ~cfg ~dataset:`Dataset2 ();
+    run_dataset ~verbose ?scale ~cfg ~jobs ~dataset:`Dataset1 ();
+    run_dataset ~verbose ?scale ~cfg ~jobs ~dataset:`Dataset2 ();
   ]
 
 let to_tables (r : result) =
@@ -156,8 +201,8 @@ let default_vs_exhaustive (r : result) =
     r
   |> Dpc_util.Stats.mean
 
-let print ?verbose ?scale ?cfg () =
-  let r = run ?verbose ?scale ?cfg () in
+let print ?verbose ?scale ?cfg ?jobs () =
+  let r = run ?verbose ?scale ?cfg ?jobs () in
   List.iter Table.print (to_tables r);
   Printf.printf
     "Default KC policy achieves %.1f%% of the exhaustive-search optimum \

@@ -24,21 +24,40 @@ let report_of row v = List.assoc v row.results
 let basic row = report_of row H.Basic
 
 (** Collect all runs.  [scale] overrides each app's default problem size
-    (interpreted per app); [verbose] logs progress to stderr. *)
-let collect ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) () : t =
+    (interpreted per app); [verbose] logs progress to stderr.  The 35
+    (app x variant) simulations are independent, so they are fanned out
+    over [jobs] domains ([1] = today's serial path); every simulation
+    builds its own device and dataset from fixed seeds, so the collected
+    reports are identical regardless of [jobs].  [apps] restricts the
+    collection to a subset of the registry (default: all seven). *)
+let collect ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) ?(jobs = 1)
+    ?(apps = R.all) () : t =
+  let pool = Dpc_util.Pool.create ~jobs in
+  let tasks =
+    List.concat_map
+      (fun (e : R.entry) -> List.map (fun v -> (e, v)) variant_order)
+      apps
+  in
+  let reports =
+    Dpc_util.Pool.parallel_map pool
+      (fun ((e : R.entry), v) ->
+        if verbose then
+          Printf.eprintf "[suite] %s / %s...\n%!" e.R.name
+            (H.variant_to_string v);
+        (v, e.R.run ?scale ~cfg v))
+      tasks
+  in
+  (* Reassemble per-app rows; [parallel_map] preserves submission order,
+     so this grouping is deterministic. *)
   List.map
     (fun (e : R.entry) ->
       let results =
-        List.map
-          (fun v ->
-            if verbose then
-              Printf.eprintf "[suite] %s / %s...\n%!" e.R.name
-                (H.variant_to_string v);
-            (v, e.R.run ?scale ~cfg v))
-          variant_order
+        List.filter_map
+          (fun ((e', _), r) -> if e' == e then Some r else None)
+          (List.combine tasks reports)
       in
       { app = e.R.name; dataset = e.R.dataset; results })
-    R.all
+    apps
 
 let speedup_over_basic row v =
   (basic row).M.cycles /. (report_of row v).M.cycles

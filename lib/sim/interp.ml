@@ -236,8 +236,6 @@ let account_access c (addrs : int array) n =
 
 (* --- expression evaluation (32-wide vectors) ---------------------------- *)
 
-let scratch_addrs = Array.make 32 0
-
 let get_buf c (v : V.t) =
   match v with
   | V.Vbuf id -> Mem.get_buf c.s.mem id
@@ -298,6 +296,7 @@ let rec eval c w mask (e : A.expr) : V.t array =
     let n = popcount mask in
     charge c c.s.cfg.Cfg.mem_issue_cycles n;
     let res = Array.make 32 (V.Vint 0) in
+    let addrs = Array.make 32 0 in
     let k = ref 0 in
     iter_lanes mask (fun l ->
         let buf = get_buf c vb.(l) in
@@ -305,9 +304,9 @@ let rec eval c w mask (e : A.expr) : V.t array =
         (match buf.Mem.data with
         | Mem.I _ -> res.(l) <- V.Vint (Mem.read_int buf idx)
         | Mem.F _ -> res.(l) <- V.Vfloat (Mem.read_float buf idx));
-        scratch_addrs.(!k) <- Mem.addr buf idx;
+        addrs.(!k) <- Mem.addr buf idx;
         incr k);
-    account_access c scratch_addrs !k;
+    account_access c addrs !k;
     res
   | A.Shared_load (name, ie) ->
     let vi = eval c w mask ie in
@@ -379,6 +378,7 @@ let rec exec_warp c w mask (s : A.stmt) =
       let vx = eval c w mask xe in
       let n = popcount mask in
       charge c c.s.cfg.Cfg.mem_issue_cycles n;
+      let addrs = Array.make 32 0 in
       let k = ref 0 in
       iter_lanes mask (fun l ->
           let buf = get_buf c vb.(l) in
@@ -386,9 +386,9 @@ let rec exec_warp c w mask (s : A.stmt) =
           (match buf.Mem.data with
           | Mem.I _ -> Mem.write_int buf idx (V.as_int vx.(l))
           | Mem.F _ -> Mem.write_float buf idx (V.as_float vx.(l)));
-          scratch_addrs.(!k) <- Mem.addr buf idx;
+          addrs.(!k) <- Mem.addr buf idx;
           incr k);
-      account_access c scratch_addrs !k
+      account_access c addrs !k
     | A.Shared_store (name, ie, xe) ->
       let vi = eval c w mask ie in
       let vx = eval c w mask xe in
@@ -460,6 +460,7 @@ let rec exec_warp c w mask (s : A.stmt) =
       (* Atomics serialize per lane. *)
       charge c (c.s.cfg.Cfg.atomic_cycles * n) n;
       let olds = Array.make 32 (V.Vint 0) in
+      let addrs = Array.make 32 0 in
       let k = ref 0 in
       iter_lanes mask (fun l ->
           let buf = get_buf c vb.(l) in
@@ -487,9 +488,9 @@ let rec exec_warp c w mask (s : A.stmt) =
           (match buf.Mem.data with
           | Mem.I _ -> Mem.write_int buf idx (V.as_int new_v)
           | Mem.F _ -> Mem.write_float buf idx (V.as_float new_v));
-          scratch_addrs.(!k) <- Mem.addr buf idx;
+          addrs.(!k) <- Mem.addr buf idx;
           incr k);
-      account_access c scratch_addrs !k;
+      account_access c addrs !k;
       Option.iter (fun v -> assign_lanes w v mask olds) old
     | A.Launch l ->
       let vg = eval c w mask l.A.grid in

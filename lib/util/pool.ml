@@ -1,0 +1,64 @@
+(** Domain-based worker pool (see the interface for the contract).
+
+    Implementation notes: tasks are indexed into an array and workers
+    claim indices from a single [Atomic] counter, so scheduling is a
+    work-stealing-free bump — cheap, and fair enough for coarse tasks
+    (each task here is a whole simulation).  Worker domains are spawned
+    per call rather than kept resident: calls are rare and long-lived,
+    and per-call spawning keeps nested/overlapping pools from ever
+    exceeding the machine's domain budget between calls. *)
+
+type t = { jobs : int }
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  { jobs }
+
+let jobs t = t.jobs
+
+let default_jobs () = Int.max 1 (Domain.recommended_domain_count () - 1)
+
+let parallel_map (type a b) t (f : a -> b) (xs : a list) : b list =
+  match xs with
+  | [] -> []
+  | _ when t.jobs = 1 -> List.map f xs
+  | _ ->
+    let tasks = Array.of_list xs in
+    let n = Array.length tasks in
+    let results : b option array = Array.make n None in
+    let errors : (exn * Printexc.raw_backtrace) option array =
+      Array.make n None
+    in
+    let next = Atomic.make 0 in
+    let failed = Atomic.make false in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failed then continue := false
+        else
+          match f tasks.(i) with
+          | v -> results.(i) <- Some v
+          | exception e ->
+            errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
+            Atomic.set failed true
+      done
+    in
+    let spawned = Int.min t.jobs n - 1 in
+    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    if Atomic.get failed then begin
+      (* Deterministic failure: re-raise the lowest-indexed error. *)
+      let first = ref None in
+      for i = n - 1 downto 0 do
+        match errors.(i) with Some _ as e -> first := e | None -> ()
+      done;
+      match !first with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> assert false
+    end;
+    List.init n (fun i ->
+        match results.(i) with Some v -> v | None -> assert false)
+
+let parallel_iter t f xs = ignore (parallel_map t f xs)

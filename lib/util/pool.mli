@@ -1,0 +1,38 @@
+(** Domain-based worker pool for independent simulation fan-out.
+
+    The experiment harness replays dozens of fully independent
+    simulations (app x variant x allocator/policy cells); this pool runs
+    them across OCaml 5 domains.  Results keep the submission order, so a
+    table assembled from [parallel_map] output is byte-identical to the
+    serial run regardless of the worker count.
+
+    Tasks must be self-contained: each should build its own
+    [Dpc_gpu.Memory] / simulator instance and derive any randomness from
+    an explicit per-task seed (or an {!Rng.split} stream), never from
+    state shared with other tasks. *)
+
+type t
+
+(** [create ~jobs] returns a pool running at most [jobs] tasks
+    concurrently.  [jobs = 1] is the serial path (no domains are
+    spawned); raises [Invalid_argument] if [jobs < 1]. *)
+val create : jobs:int -> t
+
+(** Concurrency bound the pool was created with. *)
+val jobs : t -> int
+
+(** [Domain.recommended_domain_count () - 1], clamped to at least 1:
+    leave one core for the submitting domain's own work. *)
+val default_jobs : unit -> int
+
+(** [parallel_map t f xs] computes [List.map f xs] using up to [jobs]
+    domains (the calling domain participates as a worker).  Results are
+    returned in submission order.  If any task raises, workers stop
+    claiming further tasks and the lowest-indexed exception among the
+    tasks that failed is re-raised with its backtrace (deterministic
+    whenever a single task is at fault). *)
+val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** [parallel_iter t f xs] is [parallel_map] for side-effecting tasks;
+    same ordering and exception guarantees. *)
+val parallel_iter : t -> ('a -> unit) -> 'a list -> unit

@@ -32,14 +32,16 @@ let stddev xs =
     let ss = List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs in
     Float.sqrt (ss /. (n -. 1.0))
 
-(** Histogram of integer samples into [buckets] equal-width bins. *)
+(** Histogram of integer samples into [buckets] equal-width bins over
+    [\[lo, hi\]].  Both edges are inclusive: samples equal to [hi] land in
+    the last bucket (every bucket is half-open except the top one). *)
 let histogram ~buckets ~lo ~hi samples =
   if buckets <= 0 || hi <= lo then invalid_arg "Stats.histogram";
   let counts = Array.make buckets 0 in
   let width = Float.of_int (hi - lo) /. Float.of_int buckets in
   List.iter
     (fun s ->
-      if s >= lo && s < hi then begin
+      if s >= lo && s <= hi then begin
         let b = Float.to_int (Float.of_int (s - lo) /. width) in
         let b = Int.min (buckets - 1) b in
         counts.(b) <- counts.(b) + 1

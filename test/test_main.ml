@@ -2,6 +2,7 @@ let () =
   Alcotest.run "dpc"
     [
       ("util", Test_util.suite);
+      ("pool", Test_pool.suite);
       ("gpu", Test_gpu.suite);
       ("kir", Test_kir.suite);
       ("alloc", Test_alloc.suite);

@@ -1,0 +1,97 @@
+(* Tests for the Domain worker pool: ordering, exception propagation,
+   and — the property the experiment harness depends on — byte-identical
+   figure tables at any job count. *)
+
+module Pool = Dpc_util.Pool
+module Suite = Dpc_experiments.Suite
+module Figs = Dpc_experiments.Figs7_10
+module R = Dpc_apps.Registry
+module Table = Dpc_util.Table
+
+let test_create_validates () =
+  Alcotest.check_raises "jobs >= 1"
+    (Invalid_argument "Pool.create: jobs must be >= 1") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
+let test_default_jobs_positive () =
+  Alcotest.(check bool) "at least one" true (Pool.default_jobs () >= 1)
+
+let test_map_empty () =
+  let p = Pool.create ~jobs:4 in
+  Alcotest.(check (list int)) "empty" [] (Pool.parallel_map p succ [])
+
+let test_map_order_preserved () =
+  (* More tasks than workers, with the later tasks much cheaper: results
+     must still come back in submission order. *)
+  let p = Pool.create ~jobs:4 in
+  let xs = List.init 100 Fun.id in
+  let f i =
+    if i < 4 then ignore (Sys.opaque_identity (Array.make 10_000 i));
+    i * i
+  in
+  Alcotest.(check (list int)) "ordered" (List.map f xs)
+    (Pool.parallel_map p f xs)
+
+let test_iter_runs_all_tasks () =
+  let p = Pool.create ~jobs:3 in
+  let hits = Atomic.make 0 in
+  Pool.parallel_iter p
+    (fun k -> ignore (Atomic.fetch_and_add hits k))
+    (List.init 50 Fun.id);
+  Alcotest.(check int) "sum of indices" (50 * 49 / 2) (Atomic.get hits)
+
+let test_exception_propagates () =
+  let p = Pool.create ~jobs:4 in
+  Alcotest.check_raises "worker failure re-raised" (Failure "task 17")
+    (fun () ->
+      ignore
+        (Pool.parallel_map p
+           (fun i -> if i = 17 then failwith "task 17" else i)
+           (List.init 40 Fun.id)))
+
+let test_serial_path_identical () =
+  let f i = (i * 7919) mod 997 in
+  let xs = List.init 64 Fun.id in
+  let serial = Pool.parallel_map (Pool.create ~jobs:1) f xs in
+  let parallel = Pool.parallel_map (Pool.create ~jobs:5) f xs in
+  Alcotest.(check (list int)) "jobs-independent" serial parallel
+
+(* The QCheck form of the contract: parallel_map is List.map. *)
+let prop_map_equals_list_map =
+  QCheck.Test.make ~count:50 ~name:"parallel_map = List.map"
+    QCheck.(pair (int_range 1 6) (small_list small_int))
+    (fun (jobs, xs) ->
+      let f x = (x * 31) lxor 5 in
+      Pool.parallel_map (Pool.create ~jobs) f xs = List.map f xs)
+
+(* Figure tables must be byte-identical at any job count.  Runs the
+   fig7/fig8 pipeline end-to-end on the three node-count-scaled apps (the
+   registry's scale semantics differ per app, so the full-suite identity
+   check lives in bin/experiments.exe --jobs). *)
+let test_fig7_tables_jobs_identical () =
+  let apps = [ R.sssp; R.spmv; R.pagerank ] in
+  let collect jobs =
+    Suite.collect ~verbose:false ~scale:500 ~jobs ~apps ()
+  in
+  let s1 = collect 1 and s4 = collect 4 in
+  Alcotest.(check string) "fig7 byte-identical"
+    (Table.render (Figs.fig7 s1))
+    (Table.render (Figs.fig7 s4));
+  Alcotest.(check string) "fig8 byte-identical"
+    (Table.render (Figs.fig8 s1))
+    (Table.render (Figs.fig8 s4))
+
+let suite =
+  [
+    Alcotest.test_case "create validates" `Quick test_create_validates;
+    Alcotest.test_case "default jobs" `Quick test_default_jobs_positive;
+    Alcotest.test_case "map empty" `Quick test_map_empty;
+    Alcotest.test_case "map order" `Quick test_map_order_preserved;
+    Alcotest.test_case "iter all tasks" `Quick test_iter_runs_all_tasks;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagates;
+    Alcotest.test_case "serial/parallel identical" `Quick
+      test_serial_path_identical;
+    QCheck_alcotest.to_alcotest prop_map_equals_list_map;
+    Alcotest.test_case "fig7/fig8 tables jobs-identical" `Slow
+      test_fig7_tables_jobs_identical;
+  ]

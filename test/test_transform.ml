@@ -344,6 +344,53 @@ let test_kc_configs () =
   check_policy (Cs.Kc 32) 3;
   check_policy (Cs.Explicit (5, 256)) 5
 
+(* Constant-fold a configuration expression at a given item count, so we
+   can check what grid a policy would actually launch. *)
+let rec eval_cfg_expr ~cnt (e : Dpc_kir.Ast.expr) : int =
+  match e with
+  | Dpc_kir.Ast.Const (V.Vint n) -> n
+  | Dpc_kir.Ast.Binop (op, a, b) -> (
+    let a = eval_cfg_expr ~cnt a and b = eval_cfg_expr ~cnt b in
+    match op with
+    | Dpc_kir.Ast.Add -> a + b
+    | Dpc_kir.Ast.Sub -> a - b
+    | Dpc_kir.Ast.Mul -> a * b
+    | Dpc_kir.Ast.Div -> a / b
+    | Dpc_kir.Ast.Min -> Int.min a b
+    | Dpc_kir.Ast.Max -> Int.max a b
+    | _ -> Alcotest.fail "unexpected operator in config expression")
+  | Dpc_kir.Ast.Var _ -> cnt  (* the buffered-item count *)
+  | _ -> Alcotest.fail "unexpected config expression"
+
+let test_one_to_one_never_zero_blocks () =
+  let pragma = Pragma.make ~granularity:Pragma.Warp ~work:[ "x" ] () in
+  let cnt = Dpc_kir.Build.v "cnt" in
+  List.iter
+    (fun shape ->
+      let grid_e, block_e =
+        Cs.select cfg ~policy:Cs.One_to_one ~pragma ~shape ~cnt
+      in
+      (* An empty buffer must still launch a well-formed (1, t) grid. *)
+      List.iter
+        (fun items ->
+          let g = eval_cfg_expr ~cnt:items grid_e in
+          let b = eval_cfg_expr ~cnt:items block_e in
+          Alcotest.(check bool)
+            (Printf.sprintf "grid >= 1 at cnt=%d" items)
+            true (g >= 1);
+          Alcotest.(check bool)
+            (Printf.sprintf "block >= 1 at cnt=%d" items)
+            true (b >= 1))
+        [ 0; 1; 1024; 5000 ];
+      (* And the thread-mapped arm still covers all items exactly. *)
+      match shape with
+      | Cs.Solo_thread ->
+        Alcotest.(check int) "ceil-div at 5000"
+          5
+          (eval_cfg_expr ~cnt:5000 grid_e)
+      | _ -> ())
+    [ Cs.Solo_thread; Cs.Solo_block None; Cs.Multi_block ]
+
 let test_default_policies () =
   Alcotest.(check bool) "warp default KC_32" true
     (Cs.default_policy Pragma.Warp = Cs.Kc 32);
@@ -378,5 +425,7 @@ let suite =
     Alcotest.test_case "reject child return" `Quick test_reject_child_with_return;
     Alcotest.test_case "reject postwork tid" `Quick test_reject_postwork_using_tid;
     Alcotest.test_case "KC configs" `Quick test_kc_configs;
+    Alcotest.test_case "1-1 grid never zero blocks" `Quick
+      test_one_to_one_never_zero_blocks;
     Alcotest.test_case "default policies" `Quick test_default_policies;
   ]

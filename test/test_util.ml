@@ -112,6 +112,25 @@ let test_stats_stddev () =
     (Stats.stddev [ 1.0; 2.0; 3.0 ]);
   Alcotest.(check (float 1e-9)) "stddev singleton" 0.0 (Stats.stddev [ 5.0 ])
 
+let test_histogram_bucket_boundaries () =
+  (* 4 buckets over [0, 8]: width 2, boundaries at 2/4/6, and the top
+     edge is inclusive — a sample equal to [hi] lands in the last
+     bucket instead of being dropped. *)
+  let counts =
+    Stats.histogram ~buckets:4 ~lo:0 ~hi:8 [ 0; 1; 2; 3; 4; 6; 7; 8 ]
+  in
+  Alcotest.(check (array int)) "boundaries" [| 2; 2; 1; 3 |] counts;
+  (* Out-of-range samples are still dropped on both sides. *)
+  let counts = Stats.histogram ~buckets:4 ~lo:0 ~hi:8 [ -1; 9; 8; 0 ] in
+  Alcotest.(check (array int)) "out of range dropped" [| 1; 0; 0; 1 |] counts
+
+let test_histogram_all_samples_counted () =
+  (* Every in-range sample lands in exactly one bucket. *)
+  let samples = List.init 101 Fun.id in
+  let counts = Stats.histogram ~buckets:7 ~lo:0 ~hi:100 samples in
+  Alcotest.(check int) "total preserved" 101
+    (Array.fold_left ( + ) 0 counts)
+
 let test_table_render () =
   let t =
     Table.create ~title:"t" ~headers:[ "a"; "b" ]
@@ -145,6 +164,10 @@ let suite =
     Alcotest.test_case "heap fifo ties" `Quick test_heap_fifo_ties;
     Alcotest.test_case "stats mean/geomean" `Quick test_stats_mean_geomean;
     Alcotest.test_case "stats stddev" `Quick test_stats_stddev;
+    Alcotest.test_case "histogram boundaries" `Quick
+      test_histogram_bucket_boundaries;
+    Alcotest.test_case "histogram totals" `Quick
+      test_histogram_all_samples_counted;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table arity" `Quick test_table_arity_check;
   ]
