@@ -31,17 +31,82 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run input parent policy output help_pragma =
+(* --- profiling mode ------------------------------------------------------ *)
+
+let parse_variant s =
+  match String.lowercase_ascii s with
+  | "basic" | "basic-dp" -> Dpc_apps.Harness.Basic
+  | "flat" | "no-dp" -> Dpc_apps.Harness.Flat
+  | "warp" | "warp-level" -> Dpc_apps.Harness.Cons Dpc_kir.Pragma.Warp
+  | "block" | "block-level" -> Dpc_apps.Harness.Cons Dpc_kir.Pragma.Block
+  | "grid" | "grid-level" -> Dpc_apps.Harness.Cons Dpc_kir.Pragma.Grid
+  | other ->
+    failwith
+      (Printf.sprintf
+         "bad variant %S (expected basic-dp, no-dp, warp-level, \
+          block-level, or grid-level)"
+         other)
+
+(* Run one registered benchmark app on the simulated device, print its
+   report and per-kernel profile, and optionally export the Chrome
+   trace.  This is the simulator-side counterpart of the compile path:
+   the paper's evaluation workflow (nvprof over a benchmark binary)
+   compressed into one command. *)
+let run_profiled ~app ~variant ~scale ~profile_out =
+  let entry = Dpc_apps.Registry.find app in
+  let variant = parse_variant variant in
+  let events = ref [||] in
+  let num_smx = ref 0 in
+  let inspect dev =
+    events := Dpc_sim.Device.profile dev;
+    num_smx := (Dpc_sim.Device.config dev).Dpc_gpu.Config.num_smx
+  in
+  let report = entry.Dpc_apps.Registry.run ?scale ~inspect variant in
+  Dpc_sim.Metrics.print
+    ~title:
+      (Printf.sprintf "%s / %s" entry.Dpc_apps.Registry.name
+         (Dpc_apps.Harness.variant_to_string variant))
+    report;
+  print_newline ();
+  Dpc_util.Table.print
+    (Dpc_prof.Profile.table (Dpc_prof.Profile.of_events !events));
+  (match profile_out with
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (Dpc_prof.Chrome_trace.to_string ~num_smx:!num_smx !events));
+    Printf.eprintf "dpcc: Chrome trace (%d events) -> %s\n"
+      (Array.length !events) path
+  | None -> ());
+  0
+
+let run input parent policy output help_pragma app variant scale profile_out =
   if help_pragma then begin
     print_string pragma_help;
     0
   end
   else
-    match input with
-    | None ->
+    match (app, input) with
+    | Some app, _ -> (
+      try run_profiled ~app ~variant ~scale ~profile_out with
+      | Failure msg | Invalid_argument msg ->
+        Printf.eprintf "dpcc: %s\n" msg;
+        1
+      | Dpc_apps.Harness.Verification_failed msg ->
+        Printf.eprintf "dpcc: verification failed: %s\n" msg;
+        1)
+    | None, _ when profile_out <> None ->
+      prerr_endline
+        "dpcc: --profile needs --app (profiling runs a registered \
+         benchmark on the simulated device)";
+      2
+    | None, None ->
       prerr_endline "dpcc: missing input file (see --help)";
       2
-    | Some path -> (
+    | None, Some path -> (
       try
         let src = read_file path in
         let prog = Dpc_minicu.Parser.parse_program src in
@@ -153,10 +218,35 @@ let help_pragma =
   Arg.(value & flag & info [ "help-pragma" ]
        ~doc:"Print the #pragma dp clause reference (Table I) and exit.")
 
+let app_arg =
+  Arg.(value & opt (some string) None & info [ "app" ] ~docv:"NAME"
+       ~doc:"Profiling mode: run the registered benchmark $(docv) (SSSP, \
+             SpMV, PageRank, GC, BFS-Rec, TH, TD) on the simulated \
+             device instead of compiling, and print its report and \
+             per-kernel profile.")
+
+let variant_arg =
+  Arg.(value & opt string "basic-dp" & info [ "variant" ] ~docv:"V"
+       ~doc:"App variant in profiling mode: basic-dp, no-dp, warp-level, \
+             block-level, or grid-level.")
+
+let scale_arg =
+  Arg.(value & opt (some int) None & info [ "scale" ] ~docv:"N"
+       ~doc:"Problem-size override in profiling mode (interpreted per \
+             app, as in bin/experiments).")
+
+let profile_arg =
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
+       ~doc:"Write a Chrome trace-event JSON of the profiled run to \
+             $(docv) (open in Perfetto or chrome://tracing).  Requires \
+             --app.")
+
 let cmd =
   let doc = "directive-based workload-consolidation compiler for MiniCU" in
   Cmd.v
     (Cmd.info "dpcc" ~doc)
-    Term.(const run $ input $ parent $ policy $ output $ help_pragma)
+    Term.(
+      const run $ input $ parent $ policy $ output $ help_pragma
+      $ app_arg $ variant_arg $ scale_arg $ profile_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -8,12 +8,28 @@
      experiments summary         Section V.C average speedups
      experiments all             everything above
 
+   Machine-readable output:
+     --json FILE   write the suite metrics snapshot (per app x variant
+                   reports plus the rendered tables; see EXPERIMENTS.md)
+     --trace DIR   write a Chrome trace-event file and a per-kernel
+                   profile for every suite run into DIR
+
    Every simulation in a sweep is independent, so the runner fans them
    out over OCaml domains (--jobs N; --jobs 1 is the serial path).  The
-   printed tables are byte-identical regardless of the job count. *)
+   printed tables — and the JSON and trace files — are byte-identical
+   regardless of the job count. *)
 
 open Cmdliner
 module E = Dpc_experiments
+
+let suite_tables suite =
+  [
+    E.Figs7_10.fig7 suite;
+    E.Figs7_10.fig8 suite;
+    E.Figs7_10.fig9 suite;
+    E.Figs7_10.fig10 suite;
+    E.Figs7_10.summary suite;
+  ]
 
 let print_suite_figs suite which =
   let t =
@@ -31,16 +47,21 @@ let needs_suite = function
   | "fig7" | "fig8" | "fig9" | "fig10" | "summary" | "all" -> true
   | _ -> false
 
-let run figures quiet scale jobs =
+let run figures quiet scale jobs json_out trace_dir =
   let verbose = not quiet in
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
     exit 2
   end;
   let figures = if figures = [] then [ "all" ] else figures in
+  (* The JSON snapshot and the trace files read the same shared run
+     collection as figs 7-10, so asking for either forces it. *)
   let suite =
-    if List.exists needs_suite figures then
-      Some (E.Suite.collect ~verbose ?scale ~jobs ())
+    if
+      List.exists needs_suite figures
+      || json_out <> None || trace_dir <> None
+    then
+      Some (E.Suite.collect ~verbose ?scale ~jobs ?trace_dir ())
     else None
   in
   let get_suite () = Option.get suite in
@@ -70,6 +91,17 @@ let run figures quiet scale jobs =
           other;
         exit 2)
     figures;
+  (match json_out with
+  | Some path ->
+    let s = get_suite () in
+    E.Export.write_file path
+      (E.Export.suite_json ?scale s ~tables:(suite_tables s));
+    if verbose then Printf.eprintf "[suite] metrics snapshot -> %s\n%!" path
+  | None -> ());
+  (match trace_dir with
+  | Some dir when verbose ->
+    Printf.eprintf "[suite] per-run traces and profiles -> %s/\n%!" dir
+  | _ -> ());
   0
 
 let figures =
@@ -92,9 +124,20 @@ let jobs =
              OCaml domains (default: cores - 1; 1 = serial).  Output \
              tables are byte-identical for any value.")
 
+let json_out =
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
+       ~doc:"Write the suite metrics snapshot (per app x variant reports \
+             plus the rendered figure tables) as JSON to $(docv).")
+
+let trace_dir =
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"DIR"
+       ~doc:"Profile every suite run and write Chrome trace-event files \
+             (*.trace.json, for Perfetto/chrome://tracing) and per-kernel \
+             profiles (*.profile.json) into $(docv).")
+
 let cmd =
   let doc = "regenerate the paper's evaluation tables and figures" in
   Cmd.v (Cmd.info "experiments" ~doc)
-    Term.(const run $ figures $ quiet $ scale $ jobs)
+    Term.(const run $ figures $ quiet $ scale $ jobs $ json_out $ trace_dir)
 
 let () = exit (Cmd.eval' cmd)

@@ -63,7 +63,7 @@ __global__ void bfs_flat(int* row_ptr, int* col, int* levels, int* changed, int 
 let default_scale = 12  (* 2^12 nodes *)
 
 let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
-    ?(seed = 23) variant =
+    ?(seed = 23) ?inspect variant =
   let g = Gen.kron_like ~scale ~edge_factor:10 ~seed in
   let n = g.Csr.n in
   let src = 0 in
@@ -92,7 +92,7 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
     done;
     check_int_arrays ~what:"bfs levels" expect
       (Device.read_int_array dev levels.Dpc_gpu.Memory.id);
-    Device.report dev
+    inspect_and_report ?inspect dev
   | Basic ->
     let p = prepare ~cfg ~source:dp_source ~parent:"bfs_rec" Basic in
     let dev = p.dev in
@@ -105,7 +105,7 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
       [ vbuf row_ptr; vbuf col; vbuf levels; V.Vint n; V.Vint src; V.Vint 0 ];
     check_int_arrays ~what:"bfs levels" expect
       (Device.read_int_array dev levels.Dpc_gpu.Memory.id);
-    Device.report dev
+    inspect_and_report ?inspect dev
   | Cons _ as v ->
     let p = prepare ?policy ?alloc ~cfg ~source:dp_source ~parent:"bfs_rec" v in
     let dev = p.dev in
@@ -117,4 +117,4 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
       ~seed_items:[ src ];
     check_int_arrays ~what:"bfs levels" expect
       (Device.read_int_array dev levels.Dpc_gpu.Memory.id);
-    Device.report dev
+    inspect_and_report ?inspect dev

@@ -108,7 +108,7 @@ __global__ void gc_assign(int* color, int* flag, int* pending, int round, int n)
 let default_scale = 12  (* kron scale: 2^12 = 4096 nodes *)
 
 let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
-    ?(seed = 17) variant =
+    ?(seed = 17) ?inspect variant =
   (* Coloring needs symmetric conflict visibility. *)
   let g = Csr.symmetrize (Gen.kron_like ~scale ~edge_factor:12 ~seed) in
   let n = g.Csr.n in
@@ -149,4 +149,4 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
   let colors = Device.read_int_array dev color.Dpc_gpu.Memory.id in
   if not (Cpu.valid_coloring g colors) then
     fail "graph coloring: invalid coloring produced";
-  Device.report dev
+  inspect_and_report ?inspect dev

@@ -82,7 +82,7 @@ __global__ void pr_flat(int* row_ptr, int* col, float* pr, float* next, int n) {
 let default_scale = 6000
 
 let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
-    ?(seed = 13) variant =
+    ?(seed = 13) ?inspect variant =
   let g = Gen.citeseer_like ~n:scale ~seed in
   let n = g.Csr.n in
   let expect = Cpu.pagerank g ~iters:iterations ~d:damping in
@@ -119,4 +119,4 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
   let final = bufs.(iterations mod 2) in
   check_float_arrays ~what:"pagerank" ~tol:1e-6 expect
     (Device.read_float_array dev final.Dpc_gpu.Memory.id);
-  Device.report dev
+  inspect_and_report ?inspect dev

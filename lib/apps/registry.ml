@@ -12,6 +12,7 @@ type runner =
   ?cfg:Dpc_gpu.Config.t ->
   ?scale:int ->
   ?seed:int ->
+  ?inspect:(Dpc_sim.Device.t -> unit) ->
   Harness.variant ->
   Dpc_sim.Metrics.report
 
@@ -19,38 +20,38 @@ type entry = { name : string; dataset : string; run : runner }
 
 let sssp =
   { name = Sssp.name; dataset = Sssp.dataset_name;
-    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
-        Sssp.run ?policy ?alloc ?cfg ?scale ?seed v) }
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
+        Sssp.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
 
 let spmv =
   { name = Spmv.name; dataset = Spmv.dataset_name;
-    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
-        Spmv.run ?policy ?alloc ?cfg ?scale ?seed v) }
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
+        Spmv.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
 
 let pagerank =
   { name = Pagerank.name; dataset = Pagerank.dataset_name;
-    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
-        Pagerank.run ?policy ?alloc ?cfg ?scale ?seed v) }
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
+        Pagerank.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
 
 let graph_coloring =
   { name = Graph_coloring.name; dataset = Graph_coloring.dataset_name;
-    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
-        Graph_coloring.run ?policy ?alloc ?cfg ?scale ?seed v) }
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
+        Graph_coloring.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
 
 let bfs_rec =
   { name = Bfs_rec.name; dataset = Bfs_rec.dataset_name;
-    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
-        Bfs_rec.run ?policy ?alloc ?cfg ?scale ?seed v) }
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
+        Bfs_rec.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
 
 let tree_height =
   { name = Tree_height.name; dataset = Tree_height.dataset_name;
-    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
-        Tree_height.run ?policy ?alloc ?cfg ?scale ?seed v) }
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
+        Tree_height.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
 
 let tree_descendants =
   { name = Tree_descendants.name; dataset = Tree_descendants.dataset_name;
-    run = (fun ?policy ?alloc ?cfg ?scale ?seed v ->
-        Tree_descendants.run ?policy ?alloc ?cfg ?scale ?seed v) }
+    run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
+        Tree_descendants.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
 
 (** In the paper's presentation order. *)
 let all =

@@ -62,7 +62,7 @@ __global__ void spmv_flat(int* row_ptr, int* col, float* vals, float* x, float* 
 let default_scale = 8000
 
 let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
-    ?(seed = 11) variant =
+    ?(seed = 11) ?inspect variant =
   let g = Gen.citeseer_like ~n:scale ~seed in
   let rng = Dpc_util.Rng.create (seed + 1) in
   let x = Array.init g.Csr.n (fun _ -> Dpc_util.Rng.float rng) in
@@ -95,4 +95,4 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
       (args @ [ V.Vint threshold ]));
   check_float_arrays ~what:"spmv y" ~tol:1e-9 expect
     (Device.read_float_array dev y.Dpc_gpu.Memory.id);
-  Device.report dev
+  inspect_and_report ?inspect dev

@@ -89,7 +89,7 @@ __global__ void sssp_flat(int* row_ptr, int* col, int* w, int* dist, int* change
 let default_scale = 3000
 
 let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
-    ?(seed = 7) variant =
+    ?(seed = 7) ?inspect variant =
   let g = Gen.citeseer_like ~n:scale ~seed in
   let src = 0 in
   let expect = Cpu.sssp g ~src in
@@ -125,4 +125,4 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
   loop 0;
   check_int_arrays ~what:"sssp distances" expect
     (Device.read_int_array dev dist.Dpc_gpu.Memory.id);
-  Device.report dev
+  inspect_and_report ?inspect dev

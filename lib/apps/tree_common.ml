@@ -115,7 +115,7 @@ __global__ void %s_flat(int* child_ptr, int* child_list, int* out, int* depth_of
     spec.kernel spec.base spec.acc_init spec.acc_update
 
 let run spec ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(shrink = 8)
-    ?max_nodes ?(seed = 29) ?(dataset = `Dataset1) variant =
+    ?max_nodes ?(seed = 29) ?(dataset = `Dataset1) ?inspect variant =
   let tree =
     match dataset with
     | `Dataset1 -> Tree.dataset1 ~shrink ?max_nodes ~seed ()
@@ -172,7 +172,7 @@ let run spec ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(shrink = 8)
       Device.launch dev p.entry ~grid:(blocks_for ~threads n) ~block:threads
         [ vbuf cp; vbuf cl; vbuf out; vbuf depth_of; V.Vint level; V.Vint n ]
     done;
-    finish dev out (Device.report dev)
+    finish dev out (inspect_and_report ?inspect dev)
   | Basic ->
     let p =
       prepare ~cfg ~source:(dp_source spec ~child_block) ~parent:spec.kernel
@@ -184,7 +184,7 @@ let run spec ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(shrink = 8)
     let out = Device.alloc_int dev ~name:"out" n in
     Device.launch dev p.entry ~grid:1 ~block:child_block
       [ vbuf cp; vbuf cl; vbuf out; V.Vint n; V.Vint 0 ];
-    finish dev out (Device.report dev)
+    finish dev out (inspect_and_report ?inspect dev)
   | Cons _ as v ->
     let p =
       prepare ?policy ?alloc ~cfg ~source:(dp_source spec ~child_block)
@@ -197,4 +197,4 @@ let run spec ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(shrink = 8)
     launch_recursive_seed p ~cfg
       ~uniform_args:[ vbuf cp; vbuf cl; vbuf out; V.Vint n ]
       ~seed_items:[ 0 ];
-    finish dev out (Device.report dev)
+    finish dev out (inspect_and_report ?inspect dev)

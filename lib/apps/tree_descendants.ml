@@ -25,6 +25,6 @@ let spec : Tree_common.spec =
 
 (** [scale] is the tree shrink divisor (larger = smaller tree); see
     {!Dpc_graph.Tree.dataset1}. *)
-let run ?policy ?alloc ?cfg ?(scale = 4) ?max_nodes ?seed ?dataset variant =
+let run ?policy ?alloc ?cfg ?(scale = 4) ?max_nodes ?seed ?dataset ?inspect variant =
   Tree_common.run spec ?policy ?alloc ?cfg ~shrink:scale ?max_nodes ?seed
-    ?dataset variant
+    ?dataset ?inspect variant

@@ -23,15 +23,53 @@ let report_of row v = List.assoc v row.results
 
 let basic row = report_of row H.Basic
 
+(** File-name slug for one (app, variant) run: lowercase with every
+    non-alphanumeric squeezed to ['-'] (e.g. ["sssp-basic-dp"]). *)
+let run_slug ~app variant =
+  let raw = app ^ "-" ^ H.variant_to_string variant in
+  String.map
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as l -> l
+      | _ -> '-')
+    raw
+
+(* Capture the device's event stream and drop the Chrome trace and the
+   per-kernel profile next to each other in [dir].  Runs inside the
+   worker domain; each task writes distinct files, so parallel collection
+   is race-free and the bytes depend only on the (deterministic) run. *)
+let write_run_artifacts ~dir ~app variant dev =
+  let slug = run_slug ~app variant in
+  let events = Dpc_sim.Device.profile dev in
+  let num_smx = (Dpc_sim.Device.config dev).Dpc_gpu.Config.num_smx in
+  let save name contents =
+    let oc = open_out (Filename.concat dir name) in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc contents)
+  in
+  save (slug ^ ".trace.json")
+    (Dpc_prof.Chrome_trace.to_string ~num_smx events);
+  save (slug ^ ".profile.json")
+    (Dpc_prof.Json.to_string_pretty
+       (Dpc_prof.Profile.to_json (Dpc_prof.Profile.of_events events)))
+
 (** Collect all runs.  [scale] overrides each app's default problem size
     (interpreted per app); [verbose] logs progress to stderr.  The 35
     (app x variant) simulations are independent, so they are fanned out
     over [jobs] domains ([1] = today's serial path); every simulation
     builds its own device and dataset from fixed seeds, so the collected
     reports are identical regardless of [jobs].  [apps] restricts the
-    collection to a subset of the registry (default: all seven). *)
+    collection to a subset of the registry (default: all seven).
+    [trace_dir] additionally profiles every run and writes
+    [<app>-<variant>.trace.json] (Chrome trace-event format) and
+    [<app>-<variant>.profile.json] (per-kernel summary) there; the files
+    are byte-identical for any [jobs]. *)
 let collect ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) ?(jobs = 1)
-    ?(apps = R.all) () : t =
+    ?(apps = R.all) ?trace_dir () : t =
+  (match trace_dir with
+  | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+  | _ -> ());
   let pool = Dpc_util.Pool.create ~jobs in
   let tasks =
     List.concat_map
@@ -44,7 +82,12 @@ let collect ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) ?(jobs = 1)
         if verbose then
           Printf.eprintf "[suite] %s / %s...\n%!" e.R.name
             (H.variant_to_string v);
-        (v, e.R.run ?scale ~cfg v))
+        let inspect =
+          Option.map
+            (fun dir dev -> write_run_artifacts ~dir ~app:e.R.name v dev)
+            trace_dir
+        in
+        (v, e.R.run ?scale ~cfg ?inspect v))
       tasks
   in
   (* Reassemble per-app rows; [parallel_map] preserves submission order,

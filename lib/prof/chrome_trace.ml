@@ -1,0 +1,158 @@
+(** Chrome trace-event export.
+
+    Converts a recorded event stream into the Trace Event Format JSON
+    consumed by Perfetto and [chrome://tracing]: one track (thread) per
+    SMX carrying a duration slice for every block-residency interval,
+    plus a launch-queue track showing each grid's stay in the pending
+    pool, a "pending kernels" counter series, and instant markers for
+    swap-outs/swap-ins.  Timestamps are simulated cycles.
+
+    Layout: pid 0 is the simulated device; tids [0 .. num_smx-1] are the
+    SMXs and tid [num_smx] is the launch queue. *)
+
+let queue_tid ~num_smx = num_smx
+
+let meta_events ~num_smx =
+  let named name tid =
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 0);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String name) ]);
+      ]
+  in
+  Json.Obj
+    [
+      ("name", Json.String "process_name");
+      ("ph", Json.String "M");
+      ("pid", Json.Int 0);
+      ("args", Json.Obj [ ("name", Json.String "simulated GPU") ]);
+    ]
+  :: List.init num_smx (fun i -> named (Printf.sprintf "SMX %d" i) i)
+  @ [ named "launch queue" (queue_tid ~num_smx) ]
+
+let slice ~name ~cat ~ts ~dur ~tid ~args =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("cat", Json.String cat);
+      ("ph", Json.String "X");
+      ("ts", Json.Float ts);
+      ("dur", Json.Float dur);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+let instant ~name ~ts ~tid ~args =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "i");
+      ("s", Json.String "t");
+      ("ts", Json.Float ts);
+      ("pid", Json.Int 0);
+      ("tid", Json.Int tid);
+      ("args", Json.Obj args);
+    ]
+
+let counter ~name ~ts ~value =
+  Json.Obj
+    [
+      ("name", Json.String name);
+      ("ph", Json.String "C");
+      ("ts", Json.Float ts);
+      ("pid", Json.Int 0);
+      ("args", Json.Obj [ ("pending", Json.Int value) ]);
+    ]
+
+(** Build the trace document.  [num_smx] fixes the track layout (taken
+    from the device config, not inferred, so empty SMXs still appear). *)
+let of_events ~num_smx (events : Event.t array) : Json.t =
+  let out = ref (List.rev (meta_events ~num_smx)) in
+  let emit j = out := j :: !out in
+  (* Open block-residency intervals, keyed by (gid, block).  A block can
+     be resident several times (sync swaps, barrier re-queues), but at
+     most once at any instant, so one slot per key suffices. *)
+  let open_blocks : (int * int, float * int * Event.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  (* Open pending-pool stays, keyed by gid. *)
+  let open_queue : (int, float * Event.t) Hashtbl.t = Hashtbl.create 64 in
+  let grid_args (ev : Event.t) =
+    [ ("gid", Json.Int ev.Event.gid); ("depth", Json.Int ev.Event.depth) ]
+  in
+  Array.iter
+    (fun (ev : Event.t) ->
+      let ts = ev.Event.cycles in
+      match ev.Event.kind with
+      | Event.Grid_enqueued { pending; virtualized } ->
+        Hashtbl.replace open_queue ev.Event.gid (ts, ev);
+        emit (counter ~name:"pending kernels" ~ts ~value:pending);
+        if virtualized then
+          emit
+            (instant ~name:"virtualized launch" ~ts
+               ~tid:(queue_tid ~num_smx) ~args:(grid_args ev))
+      | Event.Grid_launched { pending_left } ->
+        (match Hashtbl.find_opt open_queue ev.Event.gid with
+        | Some (t0, ev0) ->
+          Hashtbl.remove open_queue ev.Event.gid;
+          emit
+            (slice ~name:ev0.Event.kernel ~cat:"queue" ~ts:t0 ~dur:(ts -. t0)
+               ~tid:(queue_tid ~num_smx) ~args:(grid_args ev0))
+        | None -> ());
+        emit (counter ~name:"pending kernels" ~ts ~value:pending_left)
+      | Event.Block_placed { block; warps } ->
+        Hashtbl.replace open_blocks (ev.Event.gid, block)
+          (ts, warps, ev)
+      | Event.Block_removed { block; _ } -> (
+        match Hashtbl.find_opt open_blocks (ev.Event.gid, block) with
+        | Some (t0, warps, ev0) ->
+          Hashtbl.remove open_blocks (ev.Event.gid, block);
+          emit
+            (slice
+               ~name:(Printf.sprintf "%s b%d" ev0.Event.kernel block)
+               ~cat:"block" ~ts:t0 ~dur:(ts -. t0) ~tid:ev0.Event.smx
+               ~args:(("warps", Json.Int warps) :: grid_args ev0))
+        | None -> ())
+      | Event.Swap_out { block } ->
+        emit
+          (instant
+             ~name:(Printf.sprintf "swap out %s b%d" ev.Event.kernel block)
+             ~ts
+             ~tid:(if ev.Event.smx >= 0 then ev.Event.smx else queue_tid ~num_smx)
+             ~args:(grid_args ev))
+      | Event.Swap_in { block } ->
+        emit
+          (instant
+             ~name:(Printf.sprintf "swap in %s b%d" ev.Event.kernel block)
+             ~ts ~tid:(queue_tid ~num_smx) ~args:(grid_args ev))
+      | Event.Grid_started | Event.Grid_completed _ | Event.Pool_high_water _
+      | Event.Pool_virtualized _ | Event.Alloc _ -> ())
+    events;
+  (* Slices are emitted at interval close; restore start-time order (the
+     format does not require it, but sorted traces diff cleanly and make
+     the monotonicity invariants checkable from the file alone). *)
+  let ts_of j =
+    match Json.member "ts" j with Some v -> Json.number v | None -> -1.0
+  in
+  let sorted =
+    List.stable_sort
+      (fun a b -> Float.compare (ts_of a) (ts_of b))
+      (List.rev !out)
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List sorted);
+      ("displayTimeUnit", Json.String "ns");
+      ( "otherData",
+        Json.Obj
+          [
+            ("clock", Json.String "simulated device cycles");
+            ("num_smx", Json.Int num_smx);
+          ] );
+    ]
+
+let to_string ~num_smx events = Json.to_string_pretty (of_events ~num_smx events)

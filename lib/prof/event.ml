@@ -1,0 +1,135 @@
+(** Typed simulator events (`Dpc_prof`).
+
+    The timing model publishes its interesting state transitions through
+    an optional {!sink}: grid lifecycle (enqueued in the pending pool,
+    launched by the grid dispatcher, first block started, completed),
+    SMX residency changes, parent swap-out/swap-in around
+    [cudaDeviceSynchronize], pending-pool pressure, and allocator
+    activity replayed from the recorded traces.  Each event is stamped
+    with the simulated cycle, the grid id, its kernel name and nesting
+    depth, and the SMX involved ([-1] when no single SMX applies).
+
+    Sinks are per-run values — no module-global state — so concurrent
+    simulations on separate domains record independent, deterministic
+    streams. *)
+
+type kind =
+  | Grid_enqueued of { pending : int; virtualized : bool }
+      (** entered the pending pool; [pending] is the pool population
+          including this grid, [virtualized] whether it spilled to the
+          software-managed pool *)
+  | Grid_launched of { pending_left : int }
+      (** picked by the grid dispatcher; its blocks start placement *)
+  | Grid_started  (** first block became resident on an SMX *)
+  | Grid_completed of {
+      issue_cycles : int;
+      weighted_active : float;
+      dram_transactions : int;
+      l2_hits : int;
+      blocks : int;
+      warps : int;
+    }  (** all blocks and transitive children done; carries the grid's
+          functional trace totals for per-kernel aggregation *)
+  | Block_placed of { block : int; warps : int }
+  | Block_removed of { block : int; warps : int }
+  | Swap_out of { block : int }
+      (** parent block suspended at a device sync with children in
+          flight (Section III.B swap) *)
+  | Swap_in of { block : int }
+      (** suspended parent re-queued after its last child completed *)
+  | Pool_high_water of { level : int }
+      (** pending-pool population reached a new maximum *)
+  | Pool_virtualized of { pending : int }
+      (** a launch overflowed the fixed pool into the virtualized one *)
+  | Alloc of { calls : int; fallbacks : int; cycles : int }
+      (** consolidation-buffer allocator calls charged to the segment
+          that just retired *)
+
+type t = {
+  cycles : float;  (** simulated device cycles *)
+  gid : int;
+  kernel : string;
+  depth : int;
+  smx : int;  (** -1 when the event is not tied to one SMX *)
+  kind : kind;
+}
+
+type sink = t -> unit
+
+let kind_name = function
+  | Grid_enqueued _ -> "grid_enqueued"
+  | Grid_launched _ -> "grid_launched"
+  | Grid_started -> "grid_started"
+  | Grid_completed _ -> "grid_completed"
+  | Block_placed _ -> "block_placed"
+  | Block_removed _ -> "block_removed"
+  | Swap_out _ -> "swap_out"
+  | Swap_in _ -> "swap_in"
+  | Pool_high_water _ -> "pool_high_water"
+  | Pool_virtualized _ -> "pool_virtualized"
+  | Alloc _ -> "alloc"
+
+(* --- recorder ------------------------------------------------------------ *)
+
+let dummy =
+  { cycles = 0.0; gid = -1; kernel = ""; depth = 0; smx = -1;
+    kind = Grid_started }
+
+(** Growable in-memory sink.  One recorder per run; the backing
+    {!Dpc_util.Vec} doubles amortized, so recording is allocation-light
+    even for launch-storm traces. *)
+type recorder = { buf : t Dpc_util.Vec.t }
+
+let recorder () = { buf = Dpc_util.Vec.create ~dummy }
+
+let sink r : sink = fun ev -> Dpc_util.Vec.push r.buf ev
+
+let events r = Dpc_util.Vec.to_array r.buf
+
+let length r = Dpc_util.Vec.length r.buf
+
+(* --- JSON view ----------------------------------------------------------- *)
+
+let kind_args = function
+  | Grid_enqueued { pending; virtualized } ->
+    [ ("pending", Json.Int pending); ("virtualized", Json.Bool virtualized) ]
+  | Grid_launched { pending_left } ->
+    [ ("pending_left", Json.Int pending_left) ]
+  | Grid_started -> []
+  | Grid_completed
+      { issue_cycles; weighted_active; dram_transactions; l2_hits; blocks;
+        warps } ->
+    [
+      ("issue_cycles", Json.Int issue_cycles);
+      ("weighted_active", Json.Float weighted_active);
+      ("dram_transactions", Json.Int dram_transactions);
+      ("l2_hits", Json.Int l2_hits);
+      ("blocks", Json.Int blocks);
+      ("warps", Json.Int warps);
+    ]
+  | Block_placed { block; warps } ->
+    [ ("block", Json.Int block); ("warps", Json.Int warps) ]
+  | Block_removed { block; warps } ->
+    [ ("block", Json.Int block); ("warps", Json.Int warps) ]
+  | Swap_out { block } -> [ ("block", Json.Int block) ]
+  | Swap_in { block } -> [ ("block", Json.Int block) ]
+  | Pool_high_water { level } -> [ ("level", Json.Int level) ]
+  | Pool_virtualized { pending } -> [ ("pending", Json.Int pending) ]
+  | Alloc { calls; fallbacks; cycles } ->
+    [
+      ("calls", Json.Int calls);
+      ("fallbacks", Json.Int fallbacks);
+      ("cycles", Json.Int cycles);
+    ]
+
+let to_json ev =
+  Json.Obj
+    ([
+       ("ev", Json.String (kind_name ev.kind));
+       ("cycles", Json.Float ev.cycles);
+       ("gid", Json.Int ev.gid);
+       ("kernel", Json.String ev.kernel);
+       ("depth", Json.Int ev.depth);
+       ("smx", Json.Int ev.smx);
+     ]
+    @ kind_args ev.kind)

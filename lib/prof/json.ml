@@ -1,0 +1,278 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Parse_error s)) fmt
+
+(* --- printing ----------------------------------------------------------- *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let float_repr f =
+  if not (Float.is_finite f) then
+    invalid_arg "Json: non-finite float is not representable";
+  (* Shortest representation that round-trips; keep a decimal point or
+     exponent so the value re-parses as a float. *)
+  let s = Printf.sprintf "%.12g" f in
+  let s = if Float.of_string s = f then s else Printf.sprintf "%.17g" f in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+  else s ^ ".0"
+
+let rec print ~indent ~level buf v =
+  let nl_pad lvl =
+    if indent then begin
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (2 * lvl) ' ')
+    end
+  in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_into buf s
+  | List [] -> Buffer.add_string buf "[]"
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_char buf ',';
+        nl_pad (level + 1);
+        print ~indent ~level:(level + 1) buf item)
+      items;
+    nl_pad level;
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj members ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_char buf ',';
+        nl_pad (level + 1);
+        escape_into buf k;
+        Buffer.add_char buf ':';
+        if indent then Buffer.add_char buf ' ';
+        print ~indent ~level:(level + 1) buf item)
+      members;
+    nl_pad level;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 256 in
+  print ~indent:false ~level:0 buf v;
+  Buffer.contents buf
+
+let to_string_pretty v =
+  let buf = Buffer.create 256 in
+  print ~indent:true ~level:0 buf v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+(* --- parsing ------------------------------------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.src
+    && (match c.src.[c.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | Some x -> fail "at offset %d: expected %c, found %c" c.pos ch x
+  | None -> fail "at offset %d: expected %c, found end of input" c.pos ch
+
+let literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.src
+    && String.sub c.src c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else fail "at offset %d: invalid literal" c.pos
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> fail "unterminated string at offset %d" c.pos
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' ->
+      c.pos <- c.pos + 1;
+      (match peek c with
+      | None -> fail "unterminated escape at offset %d" c.pos
+      | Some e ->
+        c.pos <- c.pos + 1;
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if c.pos + 4 > String.length c.src then
+            fail "truncated \\u escape at offset %d" c.pos;
+          let hex = String.sub c.src c.pos 4 in
+          let code =
+            try int_of_string ("0x" ^ hex)
+            with _ -> fail "bad \\u escape %S at offset %d" hex c.pos
+          in
+          c.pos <- c.pos + 4;
+          (* The exporters only escape control characters; decode the
+             ASCII range and keep anything else as a replacement. *)
+          if code < 0x80 then Buffer.add_char buf (Char.chr code)
+          else Buffer.add_char buf '?'
+        | e -> fail "bad escape \\%c at offset %d" e c.pos));
+      go ()
+    | Some ch ->
+      c.pos <- c.pos + 1;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_num_char ch =
+    match ch with
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while
+    c.pos < String.length c.src && is_num_char c.src.[c.pos]
+  do
+    c.pos <- c.pos + 1
+  done;
+  let s = String.sub c.src start (c.pos - start) in
+  if String.exists (fun ch -> ch = '.' || ch = 'e' || ch = 'E') s then
+    match Float.of_string_opt s with
+    | Some f -> Float f
+    | None -> fail "bad number %S at offset %d" s start
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> fail "bad number %S at offset %d" s start
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail "unexpected end of input at offset %d" c.pos
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let members = ref [] in
+      let rec members_loop () =
+        skip_ws c;
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        members := (k, v) :: !members;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          members_loop ()
+        | _ -> expect c '}'
+      in
+      members_loop ();
+      Obj (List.rev !members)
+    end
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec items_loop () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          items_loop ()
+        | _ -> expect c ']'
+      in
+      items_loop ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail "unexpected character %c at offset %d" ch c.pos
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length s then
+    fail "trailing garbage at offset %d" c.pos;
+  v
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let member k = function
+  | Obj members -> List.assoc_opt k members
+  | _ -> None
+
+let to_list = function
+  | List l -> l
+  | _ -> fail "expected a JSON array"
+
+let to_int = function
+  | Int i -> i
+  | _ -> fail "expected a JSON integer"
+
+let number = function
+  | Int i -> Float.of_int i
+  | Float f -> f
+  | _ -> fail "expected a JSON number"
+
+let to_str = function
+  | String s -> s
+  | _ -> fail "expected a JSON string"

@@ -1,0 +1,42 @@
+(** Minimal self-contained JSON tree, printer and parser.
+
+    The profiling exporters must emit machine-readable output without
+    adding dependencies the container may not have, and the test suite
+    must be able to re-parse what was written (trace files, metric
+    snapshots) to check invariants.  Printing is deterministic: object
+    keys keep insertion order and floats use a fixed shortest-roundtrip
+    format, so identical runs produce byte-identical files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(** Serialize compactly (no whitespace).  Non-finite floats are not
+    representable in JSON and raise [Invalid_argument]. *)
+val to_string : t -> string
+
+(** Serialize with two-space indentation and a trailing newline. *)
+val to_string_pretty : t -> string
+
+(** Parse a complete JSON document.
+    @raise Parse_error on malformed input or trailing garbage. *)
+val parse : string -> t
+
+(** Object member lookup ([None] on non-objects too). *)
+val member : string -> t -> t option
+
+(** Coercions, raising [Parse_error] on shape mismatches (they report
+    schema violations when tests re-read exported files). [number]
+    accepts both [Int] and [Float]. *)
+val to_list : t -> t list
+
+val to_int : t -> int
+val number : t -> float
+val to_str : t -> string

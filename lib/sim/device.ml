@@ -105,6 +105,28 @@ let report t =
     t.cached_report <- Some r;
     r
 
+(* --- profiling ------------------------------------------------------------ *)
+
+(** Replay the timing model with a fresh per-call recorder attached and
+    return the event stream.  Replays are deterministic, so the stream
+    agrees with the cached {!report}. *)
+let profile t =
+  let s = t.session in
+  let recorder = Dpc_prof.Event.recorder () in
+  let tm =
+    Timing.create ~scheduler:t.scheduler
+      ~sink:(Dpc_prof.Event.sink recorder)
+      s.Interp.cfg (Interp.grids s) (Interp.roots s)
+  in
+  ignore (Timing.run tm : Timing.result);
+  Dpc_prof.Event.events recorder
+
+let kernel_profile t = Dpc_prof.Profile.of_events (profile t)
+
+let chrome_trace t =
+  Dpc_prof.Chrome_trace.of_events
+    ~num_smx:t.session.Interp.cfg.Cfg.num_smx (profile t)
+
 (* --- convenient buffer readback ------------------------------------------ *)
 
 let read_int_array t id = Mem.int_contents (buf t id)

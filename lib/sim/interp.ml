@@ -527,10 +527,16 @@ let rec exec_warp c w mask (s : A.stmt) =
         in
         let contention = !(c.grid_alloc_count) in
         incr c.grid_alloc_count;
+        let fallbacks_before = Alloc.pool_fallbacks c.s.alloc in
         let buf, cost =
           Alloc.alloc ~contention c.s.alloc c.s.mem ~name ~count:n_elems
         in
         c.s.alloc_cycles <- c.s.alloc_cycles + cost;
+        c.seg.Trace.allocs <- c.seg.Trace.allocs + 1;
+        c.seg.Trace.alloc_fb <-
+          c.seg.Trace.alloc_fb
+          + (Alloc.pool_fallbacks c.s.alloc - fallbacks_before);
+        c.seg.Trace.alloc_cyc <- c.seg.Trace.alloc_cyc + cost;
         charge c cost 1;
         V.Vbuf buf.Mem.id
       in
@@ -563,6 +569,7 @@ let rec exec_warp c w mask (s : A.stmt) =
       let buf = get_buf c vb.(first) in
       let cost = Alloc.free c.s.alloc buf in
       c.s.alloc_cycles <- c.s.alloc_cycles + cost;
+      c.seg.Trace.alloc_cyc <- c.seg.Trace.alloc_cyc + cost;
       charge c cost 1
     | A.Return -> w.returned <- w.returned lor mask
     | A.Syncthreads | A.Grid_barrier ->

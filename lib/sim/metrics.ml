@@ -45,3 +45,27 @@ let to_rows r =
 let print ?(title = "run report") r =
   Printf.printf "--- %s ---\n" title;
   List.iter (fun (k, v) -> Printf.printf "  %-22s %s\n" k v) (to_rows r)
+
+(** Machine-readable view of the full report.  Keep in sync with the
+    record: the completeness test checks every field's value shows up
+    both here and in {!to_rows}. *)
+let to_json r : Dpc_prof.Json.t =
+  Dpc_prof.Json.Obj
+    [
+      ("cycles", Dpc_prof.Json.Float r.cycles);
+      ("time_ms", Dpc_prof.Json.Float r.time_ms);
+      ("host_launches", Dpc_prof.Json.Int r.host_launches);
+      ("device_launches", Dpc_prof.Json.Int r.device_launches);
+      ("warp_efficiency", Dpc_prof.Json.Float r.warp_efficiency);
+      ("occupancy", Dpc_prof.Json.Float r.occupancy);
+      ("dram_transactions", Dpc_prof.Json.Int r.dram_transactions);
+      ("l2_hits", Dpc_prof.Json.Int r.l2_hits);
+      ("alloc_calls", Dpc_prof.Json.Int r.alloc_calls);
+      ("alloc_cycles", Dpc_prof.Json.Int r.alloc_cycles);
+      ("pool_fallbacks", Dpc_prof.Json.Int r.pool_fallbacks);
+      ("virtualized_launches", Dpc_prof.Json.Int r.virtualized_launches);
+      ("max_pending", Dpc_prof.Json.Int r.max_pending);
+      ("swapped_syncs", Dpc_prof.Json.Int r.swapped_syncs);
+      ("max_depth", Dpc_prof.Json.Int r.max_depth);
+      ("total_grids", Dpc_prof.Json.Int r.total_grids);
+    ]

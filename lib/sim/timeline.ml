@@ -76,9 +76,21 @@ let render ?(width = 72) ?(height = 8) ?capacity (cfg : Cfg.t)
   Buffer.add_string buf "       +";
   Buffer.add_string buf (String.make width '-');
   Buffer.add_char buf '\n';
-  Buffer.add_string buf
-    (Printf.sprintf "        0 cycles %*s %.0f cycles (resident warps over time)\n"
-       (Int.max 1 (width - 30)) "" total_cycles);
+  (* Time-axis label: right-align the end-time annotation with the end of
+     the axis when it fits; otherwise fall back to a single space.  (A
+     computed field width must never go negative: [Printf "%*s"] treats a
+     negative width as left-justification, shearing the axis.) *)
+  let left = "        0 cycles" in
+  let trailer =
+    Printf.sprintf "%.0f cycles (resident warps over time)" total_cycles
+  in
+  let pad =
+    Int.max 1 (8 + width - String.length left - String.length trailer)
+  in
+  Buffer.add_string buf left;
+  Buffer.add_string buf (String.make pad ' ');
+  Buffer.add_string buf trailer;
+  Buffer.add_char buf '\n';
   Buffer.contents buf
 
 (** Run the timing replay for a device's recorded session and render its

@@ -17,6 +17,7 @@
 
 module Cfg = Dpc_gpu.Config
 module Heap = Dpc_util.Heap
+module Ev = Dpc_prof.Event
 
 type scheduler = Processor_sharing | Fcfs
 
@@ -59,6 +60,7 @@ type grid_state = {
   mutable drained : bool;  (** all blocks done; no longer counts as active *)
   mutable completed : bool;
   mutable suspended : int;  (** blocks swapped out at a device sync *)
+  mutable started : bool;  (** a block of this grid has reached an SMX *)
   mutable yielded : bool;
       (** every unfinished block is swapped out: the grid releases its
           concurrency slot (the runtime swaps parents to let children run,
@@ -80,6 +82,7 @@ type t = {
   cfg : Cfg.t;
   scheduler : scheduler;
   record_timeline : bool;
+  sink : Ev.sink option;  (** per-run profiling sink; no global state *)
   grids : grid_state array;
   smxs : smx_state array;
   events : event Heap.t;
@@ -136,8 +139,8 @@ let make_block_run cfg (g : Trace.grid_exec) (bt : Trace.block_trace) =
     finished = false;
   }
 
-let create ?(scheduler = Processor_sharing) ?(record_timeline = false) cfg
-    (grids : Trace.grid_exec array) (roots : int list) =
+let create ?(scheduler = Processor_sharing) ?(record_timeline = false) ?sink
+    cfg (grids : Trace.grid_exec array) (roots : int list) =
   let mk_grid (g : Trace.grid_exec) =
     {
       trace = g;
@@ -149,6 +152,7 @@ let create ?(scheduler = Processor_sharing) ?(record_timeline = false) cfg
       drained = false;
       completed = false;
       suspended = 0;
+      started = false;
       yielded = false;
     }
   in
@@ -156,6 +160,7 @@ let create ?(scheduler = Processor_sharing) ?(record_timeline = false) cfg
     cfg;
     scheduler;
     record_timeline;
+    sink;
     grids = Array.map mk_grid grids;
     smxs =
       Array.init cfg.Cfg.num_smx (fun _ ->
@@ -182,6 +187,38 @@ let create ?(scheduler = Processor_sharing) ?(record_timeline = false) cfg
     completed_grids = 0;
     samples = [];
   }
+
+(* --- event publication --------------------------------------------------- *)
+
+(* Publish one typed event to the profiling sink, stamped with the
+   current simulated cycle and the grid's identity.  A [None] sink makes
+   this a cheap no-op, so unprofiled runs pay one branch per site. *)
+let emit t ?(smx = -1) (g : grid_state) kind =
+  match t.sink with
+  | None -> ()
+  | Some sink ->
+    sink
+      {
+        Ev.cycles = t.now;
+        gid = g.trace.Trace.gid;
+        kernel = g.trace.Trace.kernel;
+        depth = g.trace.Trace.depth;
+        smx;
+        kind;
+      }
+
+(* Allocator activity recorded by the interpreter on the segment that
+   just retired, replayed at the segment's simulated end time. *)
+let emit_segment_allocs t (b : block_run) (seg : Trace.segment) =
+  if t.sink <> None && seg.Trace.alloc_calls > 0 then
+    emit t ~smx:b.smx
+      t.grids.(b.grid_id)
+      (Ev.Alloc
+         {
+           calls = seg.Trace.alloc_calls;
+           fallbacks = seg.Trace.alloc_fallbacks;
+           cycles = seg.Trace.alloc_cycles;
+         })
 
 (* --- occupancy accounting ----------------------------------------------- *)
 
@@ -241,6 +278,12 @@ let add_to_smx t (b : block_run) smx_idx =
   s.nblocks <- s.nblocks + 1;
   if s.nblocks = 1 then t.busy_smxs <- t.busy_smxs + 1;
   t.device_warps <- t.device_warps + b.warps;
+  (let g = t.grids.(b.grid_id) in
+   if not g.started then begin
+     g.started <- true;
+     emit t ~smx:smx_idx g Ev.Grid_started
+   end;
+   emit t ~smx:smx_idx g (Ev.Block_placed { block = b.bidx; warps = b.warps }));
   recompute_rates t s
 
 let remove_from_smx t (b : block_run) =
@@ -253,6 +296,9 @@ let remove_from_smx t (b : block_run) =
     s.nblocks <- s.nblocks - 1;
     if s.nblocks = 0 then t.busy_smxs <- t.busy_smxs - 1;
     t.device_warps <- t.device_warps - b.warps;
+    emit t ~smx:b.smx
+      t.grids.(b.grid_id)
+      (Ev.Block_removed { block = b.bidx; warps = b.warps });
     b.smx <- -1;
     b.epoch <- b.epoch + 1;
     recompute_rates t s
@@ -311,6 +357,7 @@ let rec try_dispatch t =
       g.dispatched <- true;
       t.pending_count <- t.pending_count - 1;
       t.active_grids <- t.active_grids + 1;
+      emit t g (Ev.Grid_launched { pending_left = t.pending_count });
       (* Dispatch throughput collapses while the pending pool is
          virtualized (software-managed pool, Section III.B). *)
       let interval =
@@ -329,15 +376,23 @@ let rec try_dispatch t =
 (* A device- or host-side launch enters the pending pool. *)
 and launch_grid t gid ~latency =
   t.pending_count <- t.pending_count + 1;
-  if t.pending_count > t.max_pending then t.max_pending <- t.pending_count;
+  let high_water = t.pending_count > t.max_pending in
+  if high_water then t.max_pending <- t.pending_count;
+  let virtualized = t.pending_count > t.cfg.Cfg.fixed_pool_capacity in
   let penalty =
-    if t.pending_count > t.cfg.Cfg.fixed_pool_capacity then begin
+    if virtualized then begin
       t.virtualized <- t.virtualized + 1;
       t.extra_dram <- t.extra_dram + t.cfg.Cfg.virtual_pool_dram;
       Float.of_int t.cfg.Cfg.virtual_pool_penalty
     end
     else 0.0
   in
+  (let g = t.grids.(gid) in
+   emit t g (Ev.Grid_enqueued { pending = t.pending_count; virtualized });
+   if high_water then
+     emit t g (Ev.Pool_high_water { level = t.pending_count });
+   if virtualized then
+     emit t g (Ev.Pool_virtualized { pending = t.pending_count }));
   Heap.push t.events (t.now +. Float.of_int latency +. penalty) (Grid_ready gid)
 
 (* --- completion plumbing -------------------------------------------------- *)
@@ -399,6 +454,19 @@ and check_grid_complete t (g : grid_state) =
       Printf.eprintf "[%10.0f] complete g%d (%s)\n" t.now g.trace.Trace.gid
         g.trace.Trace.kernel;
     t.completed_grids <- t.completed_grids + 1;
+    if t.sink <> None then begin
+      let totals = Trace.totals_of_grid g.trace in
+      emit t g
+        (Ev.Grid_completed
+           {
+             issue_cycles = totals.Trace.total_issue;
+             weighted_active = totals.Trace.total_weighted;
+             dram_transactions = totals.Trace.total_dram;
+             l2_hits = totals.Trace.total_l2_hits;
+             blocks = Array.length g.blocks;
+             warps = Array.fold_left (fun acc b -> acc + b.warps) 0 g.blocks;
+           })
+    end;
     (match g.trace.Trace.parent with
     | Some (pgid, pbidx) ->
       let pg = t.grids.(pgid) in
@@ -408,6 +476,7 @@ and check_grid_complete t (g : grid_state) =
       if pb.waiting_sync && pb.children_out = 0 then begin
         pb.waiting_sync <- false;
         pg.suspended <- pg.suspended - 1;
+        emit t pg (Ev.Swap_in { block = pbidx });
         unyield t pg;
         requeue_block t pb
       end;
@@ -436,6 +505,7 @@ let block_finished t (b : block_run) =
 let handle_segment_end t (b : block_run) =
   let g = t.grids.(b.grid_id) in
   let seg = b.segments.(b.seg_i) in
+  emit_segment_allocs t b seg;
   match seg.Trace.ends_with with
   | Trace.Seg_done -> block_finished t b
   | Trace.Seg_launch child_ids ->
@@ -456,7 +526,9 @@ let handle_segment_end t (b : block_run) =
       t.extra_dram <- t.extra_dram + t.cfg.Cfg.sync_swap_dram;
       b.extra_next <- b.extra_next +. Float.of_int t.cfg.Cfg.sync_swap_cycles;
       b.waiting_sync <- true;
+      let smx = b.smx in
       remove_from_smx t b;
+      emit t ~smx g (Ev.Swap_out { block = b.bidx });
       g.suspended <- g.suspended + 1;
       maybe_yield t g;
       place_blocks t;
@@ -571,8 +643,8 @@ let run t =
   }
 
 (** Convenience: build and run a timing model over recorded traces. *)
-let simulate ?scheduler cfg grids roots =
-  let t = create ?scheduler cfg grids roots in
+let simulate ?scheduler ?sink cfg grids roots =
+  let t = create ?scheduler ?sink cfg grids roots in
   run t
 
 (** Resident-warp samples ((start_time, warps) steps, in time order);

@@ -28,9 +28,15 @@ type t
 
 exception Stuck of string
 
+(** [sink] receives one {!Dpc_prof.Event.t} per interesting state
+    transition (grid lifecycle, SMX residency, sync swaps, pending-pool
+    pressure, allocator replay), stamped with the simulated cycle.  The
+    sink is per-model state: concurrent replays on separate domains with
+    their own sinks record independent, deterministic streams. *)
 val create :
   ?scheduler:scheduler ->
   ?record_timeline:bool ->
+  ?sink:Dpc_prof.Event.sink ->
   Dpc_gpu.Config.t ->
   Trace.grid_exec array ->
   int list ->
@@ -48,6 +54,7 @@ val timeline : t -> (float * int) list
 (** [simulate cfg grids roots] = [run (create cfg grids roots)]. *)
 val simulate :
   ?scheduler:scheduler ->
+  ?sink:Dpc_prof.Event.sink ->
   Dpc_gpu.Config.t ->
   Trace.grid_exec array ->
   int list ->

@@ -23,6 +23,9 @@ type segment = {
   weighted_active : float;  (** sum over issue cycles of active_lanes/32 *)
   dram_transactions : int;
   l2_hits : int;
+  alloc_calls : int;  (** device-heap allocations issued in this segment *)
+  alloc_fallbacks : int;  (** of which pool-exhaustion fallbacks *)
+  alloc_cycles : int;  (** allocator cycles charged to this segment *)
   ends_with : seg_end;
 }
 
@@ -49,16 +52,20 @@ type seg_builder = {
   mutable weighted : float;
   mutable dram : int;
   mutable l2 : int;
+  mutable allocs : int;
+  mutable alloc_fb : int;
+  mutable alloc_cyc : int;
   segs : segment Dpc_util.Vec.t;
 }
 
 let dummy_segment =
   { issue_cycles = 0; weighted_active = 0.0; dram_transactions = 0;
-    l2_hits = 0; ends_with = Seg_done }
+    l2_hits = 0; alloc_calls = 0; alloc_fallbacks = 0; alloc_cycles = 0;
+    ends_with = Seg_done }
 
 let seg_builder () =
-  { issue = 0; weighted = 0.0; dram = 0; l2 = 0;
-    segs = Dpc_util.Vec.create ~dummy:dummy_segment }
+  { issue = 0; weighted = 0.0; dram = 0; l2 = 0; allocs = 0; alloc_fb = 0;
+    alloc_cyc = 0; segs = Dpc_util.Vec.create ~dummy:dummy_segment }
 
 (** Close the current segment with [ends_with] and start a fresh one. *)
 let cut b ends_with =
@@ -68,12 +75,18 @@ let cut b ends_with =
       weighted_active = b.weighted;
       dram_transactions = b.dram;
       l2_hits = b.l2;
+      alloc_calls = b.allocs;
+      alloc_fallbacks = b.alloc_fb;
+      alloc_cycles = b.alloc_cyc;
       ends_with;
     };
   b.issue <- 0;
   b.weighted <- 0.0;
   b.dram <- 0;
-  b.l2 <- 0
+  b.l2 <- 0;
+  b.allocs <- 0;
+  b.alloc_fb <- 0;
+  b.alloc_cyc <- 0
 
 let finish b ~block_idx ~warps =
   cut b Seg_done;
@@ -90,26 +103,29 @@ type totals = {
   device_syncs : int;
 }
 
+let accumulate_grid ~issue ~weighted ~dram ~l2 ~launches ~syncs
+    (g : grid_exec) =
+  Array.iter
+    (fun bt ->
+      Array.iter
+        (fun s ->
+          issue := !issue + s.issue_cycles;
+          weighted := !weighted +. s.weighted_active;
+          dram := !dram + s.dram_transactions;
+          l2 := !l2 + s.l2_hits;
+          match s.ends_with with
+          | Seg_launch ids -> launches := !launches + Array.length ids
+          | Seg_sync -> incr syncs
+          | Seg_done | Seg_barrier -> ())
+        bt.segments)
+    g.blocks
+
 let totals_of_grids (grids : grid_exec array) =
   let issue = ref 0 and weighted = ref 0.0 in
   let dram = ref 0 and l2 = ref 0 in
   let launches = ref 0 and syncs = ref 0 in
   Array.iter
-    (fun g ->
-      Array.iter
-        (fun bt ->
-          Array.iter
-            (fun s ->
-              issue := !issue + s.issue_cycles;
-              weighted := !weighted +. s.weighted_active;
-              dram := !dram + s.dram_transactions;
-              l2 := !l2 + s.l2_hits;
-              match s.ends_with with
-              | Seg_launch ids -> launches := !launches + Array.length ids
-              | Seg_sync -> incr syncs
-              | Seg_done | Seg_barrier -> ())
-            bt.segments)
-        g.blocks)
+    (accumulate_grid ~issue ~weighted ~dram ~l2 ~launches ~syncs)
     grids;
   {
     total_issue = !issue;
@@ -119,6 +135,10 @@ let totals_of_grids (grids : grid_exec array) =
     device_launches = !launches;
     device_syncs = !syncs;
   }
+
+(** Functional totals of a single grid (the per-kernel profile's raw
+    material). *)
+let totals_of_grid (g : grid_exec) = totals_of_grids [| g |]
 
 (** Warp execution efficiency: cycle-weighted average active lanes per warp
     over maximum lanes per warp (CUDA Profiler User's Guide definition). *)

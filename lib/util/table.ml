@@ -28,6 +28,10 @@ let add_row t cells =
 
 let rows t = List.rev t.rows
 
+let title t = t.title
+
+let headers t = t.headers
+
 let fmt_float ?(digits = 2) v =
   if Float.is_nan v then "-"
   else if Float.abs v >= 1000.0 then Printf.sprintf "%.0f" v

@@ -17,6 +17,9 @@ val add_row : t -> string list -> unit
 (** Rows in insertion order. *)
 val rows : t -> string list list
 
+val title : t -> string
+val headers : t -> string list
+
 (** Formatting helpers used across the experiment tables. *)
 val fmt_float : ?digits:int -> float -> string
 

@@ -16,4 +16,5 @@ let () =
       ("apps", Test_apps.suite);
       ("free-launch", Test_free_launch.suite);
       ("experiments", Test_experiments.suite);
+      ("prof", Test_prof.suite);
     ]
