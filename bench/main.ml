@@ -33,6 +33,13 @@ module Device = Dpc_sim.Device
 let grid = H.Cons Pragma.Grid
 let warp = H.Cons Pragma.Warp
 
+(* Run [f] under a specific interpreter back end, restoring the session
+   default afterwards (used by the compiled-vs-walker rows below). *)
+let with_interp mode f =
+  let saved = Dpc_sim.Interp.default_mode () in
+  Dpc_sim.Interp.set_default_mode mode;
+  Fun.protect ~finally:(fun () -> Dpc_sim.Interp.set_default_mode saved) f
+
 (* --- 1. bechamel microbenchmarks (one per table/figure) ------------------- *)
 
 let bechamel_tests =
@@ -80,16 +87,31 @@ let bechamel_tests =
         ignore (Dpc_apps.Tree_height.run ~scale:16 grid));
     t "fig7/td-grid" (fun () ->
         ignore (Dpc_apps.Tree_descendants.run ~scale:16 grid));
+    (* Interpreter back ends head to head: identical simulations through
+       the compiled closure fast path vs the reference AST walker (the
+       tentpole speedup; suite-level numbers live in BENCH_pr3.json). *)
+    t "interp/sssp-basic-compiled" (fun () ->
+        with_interp Dpc_sim.Interp.Compiled (fun () ->
+            ignore (Dpc_apps.Sssp.run ~scale:800 H.Basic)));
+    t "interp/sssp-basic-walker" (fun () ->
+        with_interp Dpc_sim.Interp.Reference (fun () ->
+            ignore (Dpc_apps.Sssp.run ~scale:800 H.Basic)));
+    t "interp/td-grid-compiled" (fun () ->
+        with_interp Dpc_sim.Interp.Compiled (fun () ->
+            ignore (Dpc_apps.Tree_descendants.run ~scale:16 grid)));
+    t "interp/td-grid-walker" (fun () ->
+        with_interp Dpc_sim.Interp.Reference (fun () ->
+            ignore (Dpc_apps.Tree_descendants.run ~scale:16 grid)));
   ]
 
-let run_bechamel () =
+let run_bechamel ?(quota = 0.4) () =
   print_endline "=== bechamel microbenchmarks (ns per run, OLS estimate) ===";
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.4) ~kde:None
+    Benchmark.cfg ~limit:50 ~quota:(Time.second quota) ~kde:None
       ~stabilize:false ()
   in
   let raw =
@@ -381,14 +403,23 @@ __global__ void parent(int* row_ptr, int* data, int n, int threshold) {
   Table.print t
 
 let () =
-  (* Microbenchmarks stay serial (they measure wall time); the ablation
-     sweeps fan out over domains. *)
-  run_bechamel ();
-  let pool = Pool.create ~jobs:(Pool.default_jobs ()) in
-  ablation_launch_latency pool;
-  ablation_scheduler pool;
-  ablation_pool_capacity pool;
-  ablation_buffer_sizing pool;
-  ablation_scale_growth pool;
-  ablation_free_launch ();
-  print_endline "bench: done (see bin/experiments.exe for the paper figures)"
+  (* --smoke: the reduced CI run — bechamel rows at a small quota, no
+     ablation sweeps.  Default: full microbenchmarks + ablations. *)
+  let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  if smoke then begin
+    run_bechamel ~quota:0.05 ();
+    print_endline "bench: smoke done"
+  end
+  else begin
+    (* Microbenchmarks stay serial (they measure wall time); the ablation
+       sweeps fan out over domains. *)
+    run_bechamel ();
+    let pool = Pool.create ~jobs:(Pool.default_jobs ()) in
+    ablation_launch_latency pool;
+    ablation_scheduler pool;
+    ablation_pool_capacity pool;
+    ablation_buffer_sizing pool;
+    ablation_scale_growth pool;
+    ablation_free_launch ();
+    print_endline "bench: done (see bin/experiments.exe for the paper figures)"
+  end

@@ -47,8 +47,11 @@ let needs_suite = function
   | "fig7" | "fig8" | "fig9" | "fig10" | "summary" | "all" -> true
   | _ -> false
 
-let run figures quiet scale jobs json_out trace_dir =
+let run figures quiet scale jobs json_out trace_dir interp =
   let verbose = not quiet in
+  (match interp with
+  | Some m -> Dpc_sim.Interp.set_default_mode m
+  | None -> ());
   if jobs < 1 then begin
     Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
     exit 2
@@ -135,9 +138,22 @@ let trace_dir =
              (*.trace.json, for Perfetto/chrome://tracing) and per-kernel \
              profiles (*.profile.json) into $(docv).")
 
+let interp =
+  let backend =
+    Arg.enum
+      [ ("compiled", Dpc_sim.Interp.Compiled);
+        ("ref", Dpc_sim.Interp.Reference) ]
+  in
+  Arg.(value & opt (some backend) None & info [ "interp" ] ~docv:"BACKEND"
+       ~doc:"Interpreter back end: $(b,compiled) (closure fast path, the \
+             default) or $(b,ref) (reference AST walker).  Both emit \
+             byte-identical metrics; overrides $(b,DPC_INTERP).")
+
 let cmd =
   let doc = "regenerate the paper's evaluation tables and figures" in
   Cmd.v (Cmd.info "experiments" ~doc)
-    Term.(const run $ figures $ quiet $ scale $ jobs $ json_out $ trace_dir)
+    Term.(
+      const run $ figures $ quiet $ scale $ jobs $ json_out $ trace_dir
+      $ interp)
 
 let () = exit (Cmd.eval' cmd)

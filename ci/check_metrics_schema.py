@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Regression guard for the experiments metrics snapshot.
+
+Compares a freshly generated `experiments --json` snapshot against the
+committed baseline (ci/experiments_baseline.json):
+
+  default   structural check: same apps, variants, tables, and the same
+            key set with the same JSON types at every level.  Robust to
+            cost-model retuning (values may drift; shape may not).
+  --exact   byte-level value check on top of the schema check: every
+            leaf must be equal.  Used in CI to diff the compiled
+            interpreter back end against the reference walker, where
+            the tentpole invariant is byte-identical metrics.
+
+Exit code 0 on success, 1 with a path-qualified report on mismatch.
+"""
+
+import argparse
+import json
+import sys
+
+
+def walk(base, fresh, path, errors, exact):
+    if type(base) is not type(fresh):
+        errors.append(
+            f"{path}: type {type(base).__name__} -> {type(fresh).__name__}")
+        return
+    if isinstance(base, dict):
+        missing = sorted(set(base) - set(fresh))
+        added = sorted(set(fresh) - set(base))
+        if missing:
+            errors.append(f"{path}: missing keys {missing}")
+        if added:
+            errors.append(f"{path}: unexpected keys {added}")
+        for k in sorted(set(base) & set(fresh)):
+            walk(base[k], fresh[k], f"{path}.{k}", errors, exact)
+    elif isinstance(base, list):
+        if len(base) != len(fresh):
+            errors.append(f"{path}: length {len(base)} -> {len(fresh)}")
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            walk(b, f, f"{path}[{i}]", errors, exact)
+    elif exact and base != fresh:
+        errors.append(f"{path}: value {base!r} -> {fresh!r}")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline")
+    ap.add_argument("fresh")
+    ap.add_argument("--exact", action="store_true",
+                    help="require equal leaf values, not just equal shape")
+    args = ap.parse_args()
+
+    with open(args.baseline) as fh:
+        base = json.load(fh)
+    with open(args.fresh) as fh:
+        fresh = json.load(fh)
+
+    errors = []
+    walk(base, fresh, "$", errors, args.exact)
+    if errors:
+        kind = "exact" if args.exact else "schema"
+        print(f"metrics {kind} check FAILED ({len(errors)} mismatches):")
+        for e in errors[:50]:
+            print("  " + e)
+        if len(errors) > 50:
+            print(f"  ... and {len(errors) - 50} more")
+        sys.exit(1)
+    print(f"metrics {'exact' if args.exact else 'schema'} check OK "
+          f"({args.fresh} vs {args.baseline})")
+
+
+if __name__ == "__main__":
+    main()

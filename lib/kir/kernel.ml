@@ -12,6 +12,9 @@ type t = {
   body : Ast.stmt list;
   mutable nslots : int;  (** -1 until finalized *)
   mutable nsites : int;  (** number of Malloc sites; -1 until finalized *)
+  mutable typing : Typing.t option;
+      (** slot-type inference result, cached by [finalize]; consumed by the
+          simulator's compiled fast path *)
 }
 
 exception Invalid_kernel of string
@@ -26,7 +29,7 @@ let make ~name ?(params = []) ?(shared = []) body =
         invalid "kernel %s: duplicate parameter %s" name p.pname;
       Hashtbl.add seen p.pname ())
     params;
-  { kname = name; params; shared; body; nslots = -1; nsites = -1 }
+  { kname = name; params; shared; body; nslots = -1; nsites = -1; typing = None }
 
 (** Resolve variable slots and number allocation sites.  Idempotent; must
     be called (via {!Program.finalize}) before interpretation. *)
@@ -45,7 +48,10 @@ let finalize (k : t) =
         incr site
       | _ -> ())
     ~on_expr:(fun _ -> ());
-  k.nsites <- !site
+  k.nsites <- !site;
+  k.typing <-
+    Some
+      (Typing.infer ~params:k.params ~shared:k.shared ~nslots:k.nslots k.body)
 
 let is_finalized k = k.nslots >= 0
 

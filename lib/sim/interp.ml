@@ -7,6 +7,20 @@
     into 128-byte segments filtered through an L2 model.  It records the
     per-block {!Trace.segment}s consumed by the timing model.
 
+    Two back ends implement the semantics:
+
+    - the {e reference walker} below re-traverses the AST per warp with
+      boxed {!V.t} vectors — slow, obviously correct, and the oracle for
+      differential testing;
+    - the {e compiled fast path} ({!Compile}) lowers each kernel once
+      into closures over an unboxed register plane and is dispatched to
+      whenever the kernel compiles and the launch arguments match the
+      inferred types.
+
+    Both paths emit byte-identical traces (same charges in the same
+    order).  The default is the compiled path; set [DPC_INTERP=ref] (or
+    call {!set_default_mode}) to force the walker.
+
     Device-side launches are recorded and executed when the launching
     block reaches [cudaDeviceSynchronize] or finishes.  This is sound for
     any program in which a parent only reads data written by a child after
@@ -22,18 +36,13 @@ module Mem = Dpc_gpu.Memory
 module Cfg = Dpc_gpu.Config
 module Alloc = Dpc_alloc.Allocator
 module Vec = Dpc_util.Vec
+module R = Runtime
 
-exception Sim_error of string
+exception Sim_error = Runtime.Sim_error
 
-let err fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+let err = R.err
 
-(* A device-side launch recorded but not yet executed.  Children run when
-   the launching block reaches [cudaDeviceSynchronize] or finishes — a
-   valid CUDA execution order that (unlike depth-first execution at the
-   launch point) lets sibling work complete first, so data-dependent
-   launch chains (e.g. BFS-Rec level improvements) stay near the breadth-
-   first depth instead of the worst-case path length. *)
-type pending_launch = {
+type pending_launch = Runtime.pending_launch = {
   pl_callee : string;
   pl_grid : int;
   pl_block : int;
@@ -43,6 +52,20 @@ type pending_launch = {
   pl_parent : int * int;  (** launching grid id, block idx *)
   pl_depth : int;  (** nesting depth of the child *)
 }
+
+(* --- back-end selection -------------------------------------------------- *)
+
+type mode = Compiled | Reference
+
+let default_mode_ref =
+  ref
+    (match Sys.getenv_opt "DPC_INTERP" with
+    | Some ("ref" | "reference" | "walker") -> Reference
+    | _ -> Compiled)
+
+let set_default_mode m = default_mode_ref := m
+
+let default_mode () = !default_mode_ref
 
 type session = {
   cfg : Cfg.t;
@@ -57,13 +80,18 @@ type session = {
   mutable grid_budget : int;  (** runaway-recursion guard *)
   fifo : pending_launch Queue.t;
       (** global breadth-order queue of launches awaiting execution *)
+  mode : mode;
+  ckernels : (string, Compile.ckernel option) Hashtbl.t;
+      (** per-session compilation cache: kernel name -> compiled form, or
+          [None] when the kernel does not compile and every launch of it
+          must take the reference walker *)
 }
 
 let dummy_grid : Trace.grid_exec =
   { gid = -1; kernel = ""; grid_dim = 0; block_dim = 0; depth = 0;
     parent = None; blocks = [||] }
 
-let create_session ?(grid_budget = 150_000) ~cfg ~alloc prog =
+let create_session ?(grid_budget = 150_000) ?mode ~cfg ~alloc prog =
   K.Program.finalize prog;
   {
     cfg;
@@ -77,6 +105,8 @@ let create_session ?(grid_budget = 150_000) ~cfg ~alloc prog =
     max_depth = 0;
     grid_budget;
     fifo = Queue.create ();
+    mode = (match mode with Some m -> m | None -> !default_mode_ref);
+    ckernels = Hashtbl.create 16;
   }
 
 (* --- warp / block execution state -------------------------------------- *)
@@ -100,6 +130,7 @@ type bctx = {
   shared : (string, V.t array) Hashtbl.t;
   warps : warp_state array;
   seg : Trace.seg_builder;
+  seen : int array;  (** coalescing dedup scratch for {!R.account_access} *)
   block_mallocs : (int, V.t) Hashtbl.t;
   grid_mallocs : V.t option array;
   grid_alloc_count : int ref;
@@ -110,92 +141,25 @@ type bctx = {
           [cudaDeviceSynchronize]: its launches must also complete now *)
 }
 
-let popcount x =
-  let x = x - ((x lsr 1) land 0x55555555) in
-  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
-  let x = (x + (x lsr 4)) land 0x0f0f0f0f in
-  (x * 0x01010101) lsr 24 land 0xff
+let popcount = R.popcount
+
+let lowest_bit = R.lowest_bit
+
+let iter_lanes = R.iter_lanes
+
+let lanes_where = R.lanes_where
 
 let full_mask w = (1 lsl w.nlanes) - 1
 
 let live_mask w = full_mask w land lnot w.returned
 
-let charge c cycles active =
-  c.seg.issue <- c.seg.issue + cycles;
-  c.seg.weighted <-
-    c.seg.weighted +. (Float.of_int (cycles * active) /. 32.0)
+let charge c cycles active = R.charge c.seg cycles active
 
 (* --- scalar operations -------------------------------------------------- *)
 
-let unop_apply op (x : V.t) : V.t =
-  match (op : A.unop) with
-  | A.Neg -> (match x with V.Vint i -> V.Vint (-i) | _ -> V.Vfloat (-.V.as_float x))
-  | A.Not -> V.of_bool (not (V.truthy x))
-  | A.To_float -> V.Vfloat (V.as_float x)
-  | A.To_int -> V.Vint (V.as_int x)
+let unop_apply = R.unop_apply
 
-let both_int a b =
-  match (a, b) with V.Vint _, V.Vint _ -> true | _ -> false
-
-let binop_apply op (a : V.t) (b : V.t) : V.t =
-  match (op : A.binop) with
-  | A.Add ->
-    if both_int a b then V.Vint (V.as_int a + V.as_int b)
-    else V.Vfloat (V.as_float a +. V.as_float b)
-  | A.Sub ->
-    if both_int a b then V.Vint (V.as_int a - V.as_int b)
-    else V.Vfloat (V.as_float a -. V.as_float b)
-  | A.Mul ->
-    if both_int a b then V.Vint (V.as_int a * V.as_int b)
-    else V.Vfloat (V.as_float a *. V.as_float b)
-  | A.Div ->
-    if both_int a b then begin
-      let d = V.as_int b in
-      if d = 0 then err "integer division by zero";
-      V.Vint (V.as_int a / d)
-    end
-    else V.Vfloat (V.as_float a /. V.as_float b)
-  | A.Mod ->
-    let d = V.as_int b in
-    if d = 0 then err "integer modulo by zero";
-    V.Vint (V.as_int a mod d)
-  | A.Min ->
-    if both_int a b then V.Vint (Int.min (V.as_int a) (V.as_int b))
-    else V.Vfloat (Float.min (V.as_float a) (V.as_float b))
-  | A.Max ->
-    if both_int a b then V.Vint (Int.max (V.as_int a) (V.as_int b))
-    else V.Vfloat (Float.max (V.as_float a) (V.as_float b))
-  | A.And -> V.of_bool (V.truthy a && V.truthy b)
-  | A.Or -> V.of_bool (V.truthy a || V.truthy b)
-  | A.Eq ->
-    (match (a, b) with
-    | V.Vbuf x, V.Vbuf y -> V.of_bool (x = y)
-    | _ ->
-      if both_int a b then V.of_bool (V.as_int a = V.as_int b)
-      else V.of_bool (V.as_float a = V.as_float b))
-  | A.Ne ->
-    (match (a, b) with
-    | V.Vbuf x, V.Vbuf y -> V.of_bool (x <> y)
-    | _ ->
-      if both_int a b then V.of_bool (V.as_int a <> V.as_int b)
-      else V.of_bool (V.as_float a <> V.as_float b))
-  | A.Lt ->
-    if both_int a b then V.of_bool (V.as_int a < V.as_int b)
-    else V.of_bool (V.as_float a < V.as_float b)
-  | A.Le ->
-    if both_int a b then V.of_bool (V.as_int a <= V.as_int b)
-    else V.of_bool (V.as_float a <= V.as_float b)
-  | A.Gt ->
-    if both_int a b then V.of_bool (V.as_int a > V.as_int b)
-    else V.of_bool (V.as_float a > V.as_float b)
-  | A.Ge ->
-    if both_int a b then V.of_bool (V.as_int a >= V.as_int b)
-    else V.of_bool (V.as_float a >= V.as_float b)
-  | A.Shl -> V.Vint (V.as_int a lsl V.as_int b)
-  | A.Shr -> V.Vint (V.as_int a asr V.as_int b)
-  | A.Bit_and -> V.Vint (V.as_int a land V.as_int b)
-  | A.Bit_or -> V.Vint (V.as_int a lor V.as_int b)
-  | A.Bit_xor -> V.Vint (V.as_int a lxor V.as_int b)
+let binop_apply = R.binop_apply
 
 let special_value c w (s : A.special) lane =
   match s with
@@ -209,30 +173,9 @@ let special_value c w (s : A.special) lane =
 
 (* --- memory access accounting ------------------------------------------ *)
 
-(* Coalesce one warp memory instruction: [addrs.(0..n-1)] are the byte
-   addresses touched by active lanes; count the distinct 128B segments and
-   run each through the L2 model. *)
 let account_access c (addrs : int array) n =
-  let cfg = c.s.cfg in
-  let seen = Array.make 32 (-1) in
-  let nseen = ref 0 in
-  for k = 0 to n - 1 do
-    let seg = addrs.(k) / cfg.Cfg.mem_segment_bytes in
-    let dup = ref false in
-    for j = 0 to !nseen - 1 do
-      if seen.(j) = seg then dup := true
-    done;
-    if not !dup then begin
-      seen.(!nseen) <- seg;
-      incr nseen;
-      let idx = seg mod Array.length c.s.l2_tags in
-      if c.s.l2_tags.(idx) = seg then c.seg.l2 <- c.seg.l2 + 1
-      else begin
-        c.s.l2_tags.(idx) <- seg;
-        c.seg.dram <- c.seg.dram + 1
-      end
-    end
-  done
+  R.account_access ~cfg:c.s.cfg ~l2_tags:c.s.l2_tags ~seg:c.seg ~seen:c.seen
+    addrs n
 
 (* --- expression evaluation (32-wide vectors) ---------------------------- *)
 
@@ -333,24 +276,6 @@ and shared_array c name =
   | Some arr -> arr
   | None ->
     err "kernel %s: undeclared shared array %s" c.kernel.K.kname name
-
-and iter_lanes mask f =
-  let m = ref mask in
-  while !m <> 0 do
-    let l = lowest_bit !m in
-    f l;
-    m := !m land lnot (1 lsl l)
-  done
-
-and lowest_bit m =
-  (* index of least-significant set bit *)
-  let rec go i = if m land (1 lsl i) <> 0 then i else go (i + 1) in
-  go 0
-
-and lanes_where mask f =
-  let out = ref 0 in
-  iter_lanes mask (fun l -> if f l then out := !out lor (1 lsl l));
-  !out
 
 (* --- per-warp statement execution --------------------------------------- *)
 
@@ -758,15 +683,11 @@ and exec_block s ~(kernel : K.t) ~gid ~grid_dim ~block_dim ~depth ~block_idx
       shared;
       warps;
       seg = Trace.seg_builder ();
+      seen = Array.make 32 0;
       block_mallocs = Hashtbl.create 4;
       grid_mallocs;
       grid_alloc_count;
-      pending =
-        Vec.create
-          ~dummy:
-            { pl_callee = ""; pl_grid = 0; pl_block = 0; pl_args = [];
-              pl_ids = [||]; pl_slot = 0; pl_parent = (-1, -1);
-              pl_depth = 0 };
+      pending = Vec.create ~dummy:R.dummy_pending;
       deep;
     }
   in
@@ -801,10 +722,41 @@ and exec_grid s ~callee ~grid_dim ~block_dim ~(args : V.t list) ~parent
   if depth > s.max_depth then s.max_depth <- depth;
   let grid_mallocs = Array.make (Int.max 1 kernel.K.nsites) None in
   let grid_alloc_count = ref 0 in
+  (* Back-end dispatch: compiled when the kernel lowered successfully and
+     this launch's argument types agree with the inference; the reference
+     walker otherwise (and always under [Reference] mode). *)
+  let ck =
+    match s.mode with
+    | Reference -> None
+    | Compiled -> (
+      let compiled =
+        match Hashtbl.find_opt s.ckernels callee with
+        | Some c -> c
+        | None ->
+          let c = Compile.compile_kernel kernel in
+          Hashtbl.replace s.ckernels callee c;
+          c
+      in
+      match compiled with
+      | Some c when Compile.args_ok c s.mem args -> Some c
+      | _ -> None)
+  in
   let blocks =
-    Array.init grid_dim (fun block_idx ->
-        exec_block s ~kernel ~gid ~grid_dim ~block_dim ~depth ~block_idx
-          ~args ~grid_mallocs ~grid_alloc_count ~deep)
+    match ck with
+    | Some ck ->
+      Array.init grid_dim (fun block_idx ->
+          Compile.exec_block ck ~cfg ~mem:s.mem ~alloc:s.alloc
+            ~l2_tags:s.l2_tags ~gid ~grid_dim ~block_dim ~depth ~block_idx
+            ~args ~grid_mallocs ~grid_alloc_count
+            ~flush_deep:(run_pending s ~deep:true)
+            ~enqueue:(fun pl -> Queue.push pl s.fifo)
+            ~add_alloc_cycles:(fun cost ->
+              s.alloc_cycles <- s.alloc_cycles + cost)
+            ~deep)
+    | None ->
+      Array.init grid_dim (fun block_idx ->
+          exec_block s ~kernel ~gid ~grid_dim ~block_dim ~depth ~block_idx
+            ~args ~grid_mallocs ~grid_alloc_count ~deep)
   in
   grid.Trace.blocks <- blocks;
   gid

@@ -16,6 +16,22 @@
 
 exception Sim_error of string
 
+type pending_launch = Runtime.pending_launch
+
+(** Interpreter back end.  [Compiled] dispatches through the closure
+    compiler ({!Compile}) whenever a kernel lowers successfully and the
+    launch arguments match the inferred slot types, falling back to the
+    reference AST walker otherwise; [Reference] forces the walker for
+    every launch.  Both back ends emit byte-identical {!Trace} data. *)
+type mode = Compiled | Reference
+
+(** Set the back end used by sessions created without an explicit [?mode].
+    The initial default is [Compiled], or [Reference] when the environment
+    variable [DPC_INTERP] is set to [ref]. *)
+val set_default_mode : mode -> unit
+
+val default_mode : unit -> mode
+
 type session = {
   cfg : Dpc_gpu.Config.t;
   mem : Dpc_gpu.Memory.t;
@@ -28,9 +44,9 @@ type session = {
   mutable max_depth : int;
   mutable grid_budget : int;
   fifo : pending_launch Queue.t;
+  mode : mode;
+  ckernels : (string, Compile.ckernel option) Hashtbl.t;
 }
-
-and pending_launch
 
 (** [create_session ~cfg ~alloc prog] finalizes [prog] and prepares an
     execution session.  [grid_budget] bounds the total number of grids a
@@ -38,6 +54,7 @@ and pending_launch
     {!Sim_error}). *)
 val create_session :
   ?grid_budget:int ->
+  ?mode:mode ->
   cfg:Dpc_gpu.Config.t ->
   alloc:Dpc_alloc.Allocator.t ->
   Dpc_kir.Kernel.Program.t ->

@@ -1,0 +1,181 @@
+(** Shared execution primitives of the SIMT interpreter.
+
+    Both interpreter back ends — the reference AST walker in {!Interp} and
+    the compiled closure path in {!Compile} — agree bit-for-bit on lane
+    masks, charge accounting and memory coalescing because they share the
+    primitives below.  Anything that touches a {!Trace.seg_builder} lives
+    here so the two paths cannot drift. *)
+
+module A = Dpc_kir.Ast
+module V = Dpc_kir.Value
+module Cfg = Dpc_gpu.Config
+
+exception Sim_error of string
+
+let err fmt = Printf.ksprintf (fun s -> raise (Sim_error s)) fmt
+
+(* A device-side launch recorded but not yet executed.  Children run when
+   the launching block reaches [cudaDeviceSynchronize] or finishes — a
+   valid CUDA execution order that (unlike depth-first execution at the
+   launch point) lets sibling work complete first, so data-dependent
+   launch chains (e.g. BFS-Rec level improvements) stay near the breadth-
+   first depth instead of the worst-case path length. *)
+type pending_launch = {
+  pl_callee : string;
+  pl_grid : int;
+  pl_block : int;
+  pl_args : V.t list;
+  pl_ids : int array;  (** the Seg_launch id slot to patch at execution *)
+  pl_slot : int;
+  pl_parent : int * int;  (** launching grid id, block idx *)
+  pl_depth : int;  (** nesting depth of the child *)
+}
+
+let dummy_pending =
+  { pl_callee = ""; pl_grid = 0; pl_block = 0; pl_args = []; pl_ids = [||];
+    pl_slot = 0; pl_parent = (-1, -1); pl_depth = 0 }
+
+(* --- scalar operations --------------------------------------------------
+
+   The dynamically-typed semantics of the IR's operators, shared verbatim
+   by both back ends (the walker applies them per lane; the compiled path
+   falls back to them whenever static types cannot rule out a runtime
+   type error, so error identity and C-style int/float promotion stay
+   exact). *)
+
+let unop_apply op (x : V.t) : V.t =
+  match (op : A.unop) with
+  | A.Neg -> (
+    match x with V.Vint i -> V.Vint (-i) | _ -> V.Vfloat (-.V.as_float x))
+  | A.Not -> V.of_bool (not (V.truthy x))
+  | A.To_float -> V.Vfloat (V.as_float x)
+  | A.To_int -> V.Vint (V.as_int x)
+
+let both_int a b =
+  match (a, b) with V.Vint _, V.Vint _ -> true | _ -> false
+
+let binop_apply op (a : V.t) (b : V.t) : V.t =
+  match (op : A.binop) with
+  | A.Add ->
+    if both_int a b then V.Vint (V.as_int a + V.as_int b)
+    else V.Vfloat (V.as_float a +. V.as_float b)
+  | A.Sub ->
+    if both_int a b then V.Vint (V.as_int a - V.as_int b)
+    else V.Vfloat (V.as_float a -. V.as_float b)
+  | A.Mul ->
+    if both_int a b then V.Vint (V.as_int a * V.as_int b)
+    else V.Vfloat (V.as_float a *. V.as_float b)
+  | A.Div ->
+    if both_int a b then begin
+      let d = V.as_int b in
+      if d = 0 then err "integer division by zero";
+      V.Vint (V.as_int a / d)
+    end
+    else V.Vfloat (V.as_float a /. V.as_float b)
+  | A.Mod ->
+    let d = V.as_int b in
+    if d = 0 then err "integer modulo by zero";
+    V.Vint (V.as_int a mod d)
+  | A.Min ->
+    if both_int a b then V.Vint (Int.min (V.as_int a) (V.as_int b))
+    else V.Vfloat (Float.min (V.as_float a) (V.as_float b))
+  | A.Max ->
+    if both_int a b then V.Vint (Int.max (V.as_int a) (V.as_int b))
+    else V.Vfloat (Float.max (V.as_float a) (V.as_float b))
+  | A.And -> V.of_bool (V.truthy a && V.truthy b)
+  | A.Or -> V.of_bool (V.truthy a || V.truthy b)
+  | A.Eq -> (
+    match (a, b) with
+    | V.Vbuf x, V.Vbuf y -> V.of_bool (x = y)
+    | _ ->
+      if both_int a b then V.of_bool (V.as_int a = V.as_int b)
+      else V.of_bool (V.as_float a = V.as_float b))
+  | A.Ne -> (
+    match (a, b) with
+    | V.Vbuf x, V.Vbuf y -> V.of_bool (x <> y)
+    | _ ->
+      if both_int a b then V.of_bool (V.as_int a <> V.as_int b)
+      else V.of_bool (V.as_float a <> V.as_float b))
+  | A.Lt ->
+    if both_int a b then V.of_bool (V.as_int a < V.as_int b)
+    else V.of_bool (V.as_float a < V.as_float b)
+  | A.Le ->
+    if both_int a b then V.of_bool (V.as_int a <= V.as_int b)
+    else V.of_bool (V.as_float a <= V.as_float b)
+  | A.Gt ->
+    if both_int a b then V.of_bool (V.as_int a > V.as_int b)
+    else V.of_bool (V.as_float a > V.as_float b)
+  | A.Ge ->
+    if both_int a b then V.of_bool (V.as_int a >= V.as_int b)
+    else V.of_bool (V.as_float a >= V.as_float b)
+  | A.Shl -> V.Vint (V.as_int a lsl V.as_int b)
+  | A.Shr -> V.Vint (V.as_int a asr V.as_int b)
+  | A.Bit_and -> V.Vint (V.as_int a land V.as_int b)
+  | A.Bit_or -> V.Vint (V.as_int a lor V.as_int b)
+  | A.Bit_xor -> V.Vint (V.as_int a lxor V.as_int b)
+
+let popcount x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0f0f0f0f in
+  (x * 0x01010101) lsr 24 land 0xff
+
+(* De Bruijn multiply: constant-time index of the least-significant set
+   bit of a 32-bit mask (Leiserson/Prokop/Randall).  [m land (-m)]
+   isolates the lowest bit; multiplying by the De Bruijn constant makes
+   the top 5 bits enumerate all 32 one-hot inputs uniquely. *)
+let debruijn_table =
+  [| 0; 1; 28; 2; 29; 14; 24; 3; 30; 22; 20; 15; 25; 17; 4; 8;
+     31; 27; 13; 23; 21; 19; 16; 7; 26; 12; 18; 6; 11; 5; 10; 9 |]
+
+let lowest_bit m =
+  debruijn_table.((((m land -m) * 0x077CB531) lsr 27) land 31)
+
+let iter_lanes mask f =
+  let m = ref mask in
+  while !m <> 0 do
+    f (lowest_bit !m);
+    (* clear the lowest set bit *)
+    m := !m land (!m - 1)
+  done
+
+let lanes_where mask f =
+  let out = ref 0 in
+  iter_lanes mask (fun l -> if f l then out := !out lor (1 lsl l));
+  !out
+
+(** Charge [cycles] warp issue cycles with [active] lanes enabled. *)
+let charge (seg : Trace.seg_builder) cycles active =
+  seg.Trace.issue <- seg.Trace.issue + cycles;
+  seg.Trace.weighted <-
+    seg.Trace.weighted +. (Float.of_int (cycles * active) /. 32.0)
+
+(* Coalesce one warp memory instruction: [addrs.(0..n-1)] are the byte
+   addresses touched by active lanes; count the distinct 128B segments and
+   run each through the L2 model.  [seen] is caller-provided dedup scratch
+   of length >= 32 (only the first [n] entries are ever consulted, so it
+   needs no re-initialization between calls). *)
+let account_access ~(cfg : Cfg.t) ~(l2_tags : int array)
+    ~(seg : Trace.seg_builder) ~(seen : int array) (addrs : int array) n =
+  let seg_bytes = cfg.Cfg.mem_segment_bytes in
+  let ntags = Array.length l2_tags in
+  let nseen = ref 0 in
+  for k = 0 to n - 1 do
+    let sg = addrs.(k) / seg_bytes in
+    let dup = ref false in
+    let j = ref 0 in
+    while (not !dup) && !j < !nseen do
+      if seen.(!j) = sg then dup := true;
+      incr j
+    done;
+    if not !dup then begin
+      seen.(!nseen) <- sg;
+      incr nseen;
+      let idx = sg mod ntags in
+      if l2_tags.(idx) = sg then seg.Trace.l2 <- seg.Trace.l2 + 1
+      else begin
+        l2_tags.(idx) <- sg;
+        seg.Trace.dram <- seg.Trace.dram + 1
+      end
+    end
+  done

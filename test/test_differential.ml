@@ -1,0 +1,154 @@
+(* Differential test of the two interpreter back ends.
+
+   The compiled closure fast path (Compile) must be observationally
+   identical to the reference AST walker: every app x variant run under
+   both back ends has to produce the same Metrics report and, stronger,
+   the same per-block Trace segments — issue cycles, weighted active
+   lanes (float accumulation order included), DRAM/L2 counts, allocator
+   charges and segment delimiters.  Byte-identical traces mean every
+   downstream number (timing model, figures, profiler) is provably
+   independent of the back end. *)
+
+module H = Dpc_apps.Harness
+module R = Dpc_apps.Registry
+module M = Dpc_sim.Metrics
+module I = Dpc_sim.Interp
+module T = Dpc_sim.Trace
+module Device = Dpc_sim.Device
+module Pragma = Dpc_kir.Pragma
+
+(* Small scales per app (same table as test_apps). *)
+let small_scale = function
+  | "SSSP" -> 700
+  | "SpMV" -> 900
+  | "PageRank" -> 600
+  | "GC" -> 8 (* 2^8 nodes *)
+  | "BFS-Rec" -> 8
+  | "TH" | "TD" -> 16 (* shrink divisor *)
+  | other -> invalid_arg other
+
+type capture = {
+  report : M.report;
+  grids : T.grid_exec array;
+  compiled_kernels : int;  (** kernels that lowered to closures *)
+}
+
+let run_mode (e : R.entry) v mode : capture =
+  let saved = I.default_mode () in
+  I.set_default_mode mode;
+  Fun.protect
+    ~finally:(fun () -> I.set_default_mode saved)
+    (fun () ->
+      let grids = ref [||] in
+      let compiled = ref 0 in
+      let report =
+        e.R.run ~scale:(small_scale e.R.name)
+          ~inspect:(fun dev ->
+            let s = Device.session dev in
+            grids := I.grids s;
+            Hashtbl.iter
+              (fun _ ck -> if Option.is_some ck then incr compiled)
+              s.I.ckernels)
+          v
+      in
+      { report; grids = !grids; compiled_kernels = !compiled })
+
+let check_segment ctx (a : T.segment) (b : T.segment) =
+  let fail what ppa ppb =
+    Alcotest.failf "%s: %s differs: walker %s vs compiled %s" ctx what ppa
+      ppb
+  in
+  let chk_int what x y =
+    if x <> y then fail what (string_of_int x) (string_of_int y)
+  in
+  chk_int "issue_cycles" a.T.issue_cycles b.T.issue_cycles;
+  if not (Float.equal a.T.weighted_active b.T.weighted_active) then
+    fail "weighted_active"
+      (Printf.sprintf "%h" a.T.weighted_active)
+      (Printf.sprintf "%h" b.T.weighted_active);
+  chk_int "dram_transactions" a.T.dram_transactions b.T.dram_transactions;
+  chk_int "l2_hits" a.T.l2_hits b.T.l2_hits;
+  chk_int "alloc_calls" a.T.alloc_calls b.T.alloc_calls;
+  chk_int "alloc_fallbacks" a.T.alloc_fallbacks b.T.alloc_fallbacks;
+  chk_int "alloc_cycles" a.T.alloc_cycles b.T.alloc_cycles;
+  match (a.T.ends_with, b.T.ends_with) with
+  | T.Seg_done, T.Seg_done
+  | T.Seg_sync, T.Seg_sync
+  | T.Seg_barrier, T.Seg_barrier ->
+    ()
+  | T.Seg_launch x, T.Seg_launch y when x = y -> ()
+  | _ -> fail "ends_with" "<seg_end>" "<seg_end>"
+
+let check_block ctx (a : T.block_trace) (b : T.block_trace) =
+  if a.T.block_idx <> b.T.block_idx then
+    Alcotest.failf "%s: block_idx %d vs %d" ctx a.T.block_idx b.T.block_idx;
+  if a.T.warps <> b.T.warps then
+    Alcotest.failf "%s: warps %d vs %d" ctx a.T.warps b.T.warps;
+  if Array.length a.T.segments <> Array.length b.T.segments then
+    Alcotest.failf "%s: segment count %d vs %d" ctx
+      (Array.length a.T.segments)
+      (Array.length b.T.segments);
+  Array.iteri
+    (fun i sa ->
+      check_segment
+        (Printf.sprintf "%s seg %d" ctx i)
+        sa b.T.segments.(i))
+    a.T.segments
+
+let check_grid ctx (a : T.grid_exec) (b : T.grid_exec) =
+  if
+    a.T.gid <> b.T.gid || a.T.kernel <> b.T.kernel
+    || a.T.grid_dim <> b.T.grid_dim
+    || a.T.block_dim <> b.T.block_dim
+    || a.T.depth <> b.T.depth || a.T.parent <> b.T.parent
+  then
+    Alcotest.failf "%s: grid header differs (%s g%d vs %s g%d)" ctx
+      a.T.kernel a.T.gid b.T.kernel b.T.gid;
+  if Array.length a.T.blocks <> Array.length b.T.blocks then
+    Alcotest.failf "%s: block count %d vs %d" ctx (Array.length a.T.blocks)
+      (Array.length b.T.blocks);
+  Array.iteri
+    (fun i ba ->
+      check_block
+        (Printf.sprintf "%s block %d" ctx i)
+        ba b.T.blocks.(i))
+    a.T.blocks
+
+let report_str (r : M.report) =
+  String.concat "; "
+    (List.map (fun (k, v) -> k ^ "=" ^ v) (M.to_rows r))
+
+let diff_app_variant (e : R.entry) v () =
+  let name = Printf.sprintf "%s/%s" e.R.name (H.variant_to_string v) in
+  let ref_ = run_mode e v I.Reference in
+  let cmp = run_mode e v I.Compiled in
+  (* The fast path must actually engage, or the test is vacuous. *)
+  Alcotest.(check bool)
+    (name ^ ": at least one kernel compiled")
+    true (cmp.compiled_kernels > 0);
+  if compare ref_.report cmp.report <> 0 then
+    Alcotest.failf "%s: Metrics.report differs\nwalker:   %s\ncompiled: %s"
+      name (report_str ref_.report) (report_str cmp.report);
+  if Array.length ref_.grids <> Array.length cmp.grids then
+    Alcotest.failf "%s: grid count %d vs %d" name
+      (Array.length ref_.grids) (Array.length cmp.grids);
+  Array.iteri
+    (fun i ga ->
+      check_grid
+        (Printf.sprintf "%s grid %d" name i)
+        ga cmp.grids.(i))
+    ref_.grids
+
+let variants =
+  [ H.Basic; H.Cons Pragma.Warp; H.Cons Pragma.Block; H.Cons Pragma.Grid ]
+
+let suite =
+  List.concat_map
+    (fun (e : R.entry) ->
+      List.map
+        (fun v ->
+          Alcotest.test_case
+            (Printf.sprintf "%s %s" e.R.name (H.variant_to_string v))
+            `Slow (diff_app_variant e v))
+        variants)
+    R.all

@@ -14,6 +14,7 @@ let () =
       ("transform", Test_transform.suite);
       ("codegen", Test_codegen.suite);
       ("apps", Test_apps.suite);
+      ("differential", Test_differential.suite);
       ("free-launch", Test_free_launch.suite);
       ("experiments", Test_experiments.suite);
       ("prof", Test_prof.suite);
