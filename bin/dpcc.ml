@@ -83,10 +83,145 @@ let run_profiled ~app ~variant ~scale ~profile_out =
   | None -> ());
   0
 
-let run input parent policy output help_pragma app variant scale profile_out =
+(* --- static checking mode ------------------------------------------------ *)
+
+let write_json path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Dpc_prof.Json.to_string_pretty json));
+  Printf.eprintf "dpcc: check report -> %s\n" path
+
+(* Exit status of a lint: errors always fail; --strict also fails on
+   warnings. *)
+let lint_failed ~strict diags =
+  List.exists Dpc_check.Diag.is_error diags || (strict && diags <> [])
+
+(* Lint one MiniCU file: every kernel of the program, with file:line
+   locations. *)
+let run_check_file ~strict ~json_out path =
+  let src = read_file path in
+  let prog = Dpc_minicu.Parser.parse_program src in
+  let diags = Dpc_check.Check.check_program prog in
+  Dpc_check.Check.print_report ~file:path stdout diags;
+  Printf.printf "%s: %s\n" path (Dpc_check.Check.summary diags);
+  Option.iter
+    (fun p -> write_json p (Dpc_check.Check.report_json diags))
+    json_out;
+  if lint_failed ~strict diags then 1 else 0
+
+(* Lint every registered app at every lintable variant: the annotated
+   source as written, the consolidation output at each granularity, and
+   the flat kernels. *)
+let run_check_apps ~strict ~json_out =
+  let units =
+    List.concat_map
+      (fun (e : Dpc_apps.Registry.entry) ->
+        List.map
+          (fun (variant, prog) ->
+            (Printf.sprintf "%s/%s" e.Dpc_apps.Registry.name variant, prog))
+          (e.Dpc_apps.Registry.programs ()))
+      Dpc_apps.Registry.all
+  in
+  let per_unit =
+    List.map
+      (fun (label, prog) -> (label, Dpc_check.Check.check_program prog))
+      units
+  in
+  List.iter
+    (fun (label, diags) ->
+      List.iter
+        (fun d ->
+          Printf.printf "%s: %s\n" label (Dpc_check.Diag.to_string d))
+        diags)
+    per_unit;
+  let all = List.concat_map snd per_unit in
+  Printf.printf "checked %d programs (%d apps): %s\n" (List.length units)
+    (List.length Dpc_apps.Registry.all)
+    (Dpc_check.Check.summary all);
+  Option.iter
+    (fun p ->
+      write_json p
+        (Dpc_prof.Json.Obj
+           [
+             ("schema", Dpc_prof.Json.String "dpc-check-sweep-v1");
+             ( "units",
+               Dpc_prof.Json.List
+                 (List.map
+                    (fun (label, diags) ->
+                      Dpc_prof.Json.Obj
+                        [
+                          ("unit", Dpc_prof.Json.String label);
+                          ("report", Dpc_check.Diag.report_to_json diags);
+                        ])
+                    per_unit) );
+           ]))
+    json_out;
+  if lint_failed ~strict all then 1 else 0
+
+(* Run the seeded-bad-kernel harness: every mutant must be caught by its
+   analysis, every clean twin must lint silent. *)
+let run_mutants () =
+  let outcomes = Dpc_check.Mutate.run_all () in
+  let failures = ref 0 in
+  List.iter
+    (fun (o : Dpc_check.Mutate.outcome) ->
+      let m = o.Dpc_check.Mutate.mutant in
+      let expect =
+        match m.Dpc_check.Mutate.expect with
+        | Some id -> id
+        | None -> "clean"
+      in
+      let verdict =
+        if o.Dpc_check.Mutate.ok then "ok"
+        else begin
+          incr failures;
+          match m.Dpc_check.Mutate.expect with
+          | Some _ -> "MISSED"
+          | None -> "FALSE POSITIVE"
+        end
+      in
+      Printf.printf "%-28s %-10s %-6s %s\n" m.Dpc_check.Mutate.mname
+        m.Dpc_check.Mutate.analysis expect verdict;
+      if not o.Dpc_check.Mutate.ok then
+        List.iter
+          (fun d ->
+            Printf.printf "    %s\n" (Dpc_check.Diag.to_string d))
+          o.Dpc_check.Mutate.diags)
+    outcomes;
+  Printf.printf "mutants: %d/%d as expected\n"
+    (List.length outcomes - !failures)
+    (List.length outcomes);
+  if !failures = 0 then 0 else 1
+
+let run input parent policy output help_pragma app variant scale profile_out
+    check strict check_json mutants =
   if help_pragma then begin
     print_string pragma_help;
     0
+  end
+  else if mutants then run_mutants ()
+  else if check then begin
+    match input with
+    | Some path -> (
+      try run_check_file ~strict ~json_out:check_json path with
+      | Dpc_minicu.Lexer.Lex_error { line; msg } ->
+        Printf.eprintf "dpcc: %s:%d: lexical error: %s\n" path line msg;
+        1
+      | Dpc_minicu.Parser.Parse_error { line; msg } ->
+        Printf.eprintf "dpcc: %s:%d: syntax error: %s\n" path line msg;
+        1
+      | Dpc_minicu.Pragma_parser.Pragma_error msg ->
+        Printf.eprintf "dpcc: %s: bad #pragma dp: %s\n" path msg;
+        1)
+    | None -> (
+      try run_check_apps ~strict ~json_out:check_json with
+      | Dpc.Transform.Unsupported msg ->
+        Printf.eprintf "dpcc: unsupported: %s\n" msg;
+        1
+      | Failure msg ->
+        Printf.eprintf "dpcc: %s\n" msg;
+        1)
   end
   else
     match (app, input) with
@@ -241,12 +376,35 @@ let profile_arg =
              $(docv) (open in Perfetto or chrome://tracing).  Requires \
              --app.")
 
+let check_arg =
+  Arg.(value & flag & info [ "check" ]
+       ~doc:"Static-verification mode: lint kernels instead of compiling. \
+             With FILE, check that source; without, sweep every \
+             registered app at every variant (basic-dp, the three \
+             consolidation granularities, no-dp).  Exits non-zero on \
+             error-severity findings.")
+
+let strict_arg =
+  Arg.(value & flag & info [ "strict" ]
+       ~doc:"With --check: treat warnings as fatal too.")
+
+let check_json_arg =
+  Arg.(value & opt (some string) None & info [ "check-json" ] ~docv:"FILE"
+       ~doc:"With --check: also write the diagnostics as JSON to $(docv).")
+
+let mutants_arg =
+  Arg.(value & flag & info [ "mutants" ]
+       ~doc:"Run the verifier's mutation harness: seeded-bad kernels must \
+             each be caught by the analysis that owns their bug class, \
+             and their repaired twins must lint silent.")
+
 let cmd =
   let doc = "directive-based workload-consolidation compiler for MiniCU" in
   Cmd.v
     (Cmd.info "dpcc" ~doc)
     Term.(
       const run $ input $ parent $ policy $ output $ help_pragma
-      $ app_arg $ variant_arg $ scale_arg $ profile_arg)
+      $ app_arg $ variant_arg $ scale_arg $ profile_arg
+      $ check_arg $ strict_arg $ check_json_arg $ mutants_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -60,6 +60,9 @@ __global__ void bfs_flat(int* row_ptr, int* col, int* levels, int* changed, int 
 }
 |}
 
+let programs ?cfg () =
+  dp_programs ?cfg ~source:dp_source ~parent:"bfs_rec" ~flat:flat_source ()
+
 let default_scale = 12  (* 2^12 nodes *)
 
 let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)

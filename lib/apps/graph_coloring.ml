@@ -105,6 +105,9 @@ __global__ void gc_assign(int* color, int* flag, int* pending, int round, int n)
 }
 |}
 
+let programs ?cfg () =
+  dp_programs ?cfg ~source:dp_source ~parent:"gc_scan" ~flat:flat_source ()
+
 let default_scale = 12  (* kron scale: 2^12 = 4096 nodes *)
 
 let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)

@@ -65,6 +65,29 @@ let prepare_flat ~cfg ~(source : string) ~entry : prepared =
   let prog = Parser.parse_program source in
   { dev = Device.create ~cfg prog; entry; trans = None }
 
+(** Every lintable program of a DP app, labeled by variant: the annotated
+    source as written ([basic-dp]), the consolidation compiler's output at
+    each granularity, and — when given — the flat kernel.  This is the
+    surface [dpcc --check] sweeps: both the hand-written kernels and
+    everything the transform generates from them. *)
+let dp_programs ?policy ?(cfg = Cfg.k20c)
+    ~(source : Pragma.granularity -> string) ~parent ?flat () :
+    (string * Dpc_kir.Kernel.Program.t) list =
+  let cons g =
+    let prog = Parser.parse_program (source g) in
+    (Transform.apply ?policy ~cfg ~parent prog).Transform.program
+  in
+  [
+    ("basic-dp", Parser.parse_program (source Pragma.Grid));
+    ("warp-level", cons Pragma.Warp);
+    ("block-level", cons Pragma.Block);
+    ("grid-level", cons Pragma.Grid);
+  ]
+  @
+  match flat with
+  | Some src -> [ ("no-dp", Parser.parse_program src) ]
+  | None -> []
+
 (* --- verification helpers ------------------------------------------------ *)
 
 let check_int_arrays ~what (expect : int array) (got : int array) =

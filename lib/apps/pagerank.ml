@@ -79,6 +79,9 @@ __global__ void pr_flat(int* row_ptr, int* col, float* pr, float* next, int n) {
 }
 |}
 
+let programs ?cfg () =
+  dp_programs ?cfg ~source:dp_source ~parent:"pr_parent" ~flat:flat_source ()
+
 let default_scale = 6000
 
 let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)

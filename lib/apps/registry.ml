@@ -16,42 +16,59 @@ type runner =
   Harness.variant ->
   Dpc_sim.Metrics.report
 
-type entry = { name : string; dataset : string; run : runner }
+type entry = {
+  name : string;
+  dataset : string;
+  run : runner;
+  programs :
+    ?cfg:Dpc_gpu.Config.t ->
+    unit ->
+    (string * Dpc_kir.Kernel.Program.t) list;
+      (** every lintable program of the app, labeled by variant (see
+          {!Harness.dp_programs}); the surface [dpcc --check] sweeps *)
+}
 
 let sssp =
   { name = Sssp.name; dataset = Sssp.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
-        Sssp.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
+        Sssp.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    programs = Sssp.programs }
 
 let spmv =
   { name = Spmv.name; dataset = Spmv.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
-        Spmv.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
+        Spmv.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    programs = Spmv.programs }
 
 let pagerank =
   { name = Pagerank.name; dataset = Pagerank.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
-        Pagerank.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
+        Pagerank.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    programs = Pagerank.programs }
 
 let graph_coloring =
   { name = Graph_coloring.name; dataset = Graph_coloring.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
-        Graph_coloring.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
+        Graph_coloring.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    programs = Graph_coloring.programs }
 
 let bfs_rec =
   { name = Bfs_rec.name; dataset = Bfs_rec.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
-        Bfs_rec.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
+        Bfs_rec.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    programs = Bfs_rec.programs }
 
 let tree_height =
   { name = Tree_height.name; dataset = Tree_height.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
-        Tree_height.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
+        Tree_height.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    programs = Tree_height.programs }
 
 let tree_descendants =
   { name = Tree_descendants.name; dataset = Tree_descendants.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
-        Tree_descendants.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v) }
+        Tree_descendants.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    programs = Tree_descendants.programs }
 
 (** In the paper's presentation order. *)
 let all =

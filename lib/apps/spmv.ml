@@ -59,6 +59,10 @@ __global__ void spmv_flat(int* row_ptr, int* col, float* vals, float* x, float* 
 }
 |}
 
+let programs ?cfg () =
+  dp_programs ?cfg ~source:dp_source ~parent:"spmv_parent" ~flat:flat_source
+    ()
+
 let default_scale = 8000
 
 let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)

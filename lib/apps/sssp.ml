@@ -86,6 +86,10 @@ __global__ void sssp_flat(int* row_ptr, int* col, int* w, int* dist, int* change
 |}
     inf
 
+let programs ?cfg () =
+  dp_programs ?cfg ~source:dp_source ~parent:"sssp_parent" ~flat:flat_source
+    ()
+
 let default_scale = 3000
 
 let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)

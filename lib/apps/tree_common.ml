@@ -114,6 +114,15 @@ __global__ void %s_flat(int* child_ptr, int* child_list, int* out, int* depth_of
 |}
     spec.kernel spec.base spec.acc_init spec.acc_update
 
+(* The lint surface uses a representative child block size; [run] tunes it
+   to the dataset's fan-out, which only changes a launch constant. *)
+let programs spec ?cfg () =
+  dp_programs ?cfg
+    ~source:(dp_source spec ~child_block:128)
+    ~parent:spec.kernel
+    ~flat:(flat_source spec)
+    ()
+
 let run spec ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(shrink = 8)
     ?max_nodes ?(seed = 29) ?(dataset = `Dataset1) ?inspect variant =
   let tree =

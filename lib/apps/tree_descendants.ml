@@ -23,6 +23,8 @@ let spec : Tree_common.spec =
         !acc);
   }
 
+let programs ?cfg () = Tree_common.programs spec ?cfg ()
+
 (** [scale] is the tree shrink divisor (larger = smaller tree); see
     {!Dpc_graph.Tree.dataset1}. *)
 let run ?policy ?alloc ?cfg ?(scale = 4) ?max_nodes ?seed ?dataset ?inspect variant =

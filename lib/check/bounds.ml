@@ -1,0 +1,398 @@
+(** Bounds and uninitialized-slot checking (BN01–BN03).
+
+    {b Intervals.}  Every frame slot gets an integer interval
+    [[lo, hi]] where either end may be unbounded ([None]); the per-slot
+    map is computed by a flow-insensitive fixpoint over assignments with
+    widening (an endpoint that grows twice is dropped to unbounded, so
+    loop-carried updates like [i = i + 1] converge immediately).  Slots
+    whose reads are all dominated by assignments start at bottom; slots
+    with an undominated read additionally include the frame's zero fill.
+    Special registers seed half-open ranges — [threadIdx.x ∈ [0, ∞)],
+    [laneId ∈ [0, warpSize)], [blockDim.x ∈ [1, ∞)] — and kernel
+    parameters are unknown, so thread- or parameter-indexed accesses never
+    produce finite upper bounds and cannot be flagged: the checker only
+    speaks up when it can actually bound the index.
+
+    Shared accesses are compared against the array's declared extent:
+
+    - [BN01] (error): the index interval lies entirely outside
+      [[0, extent)] — a definite out-of-bounds access.
+    - [BN02] (warning): the interval has a {e finite} endpoint outside
+      [[0, extent)] — the access may go out of bounds (e.g. a loop bound
+      one past the extent).
+
+    {b Use before def.}  A forward pass mirrors {!Dpc_kir.Typing}'s
+    definite-assignment analysis: parameters, [for] variables, [Malloc]
+    destinations and atomic [old] binders define their slots; branch
+    joins intersect; loop bodies may execute zero times, so their
+    definitions do not survive the loop.  A read of a slot with no
+    dominating definition is reported once per variable:
+
+    - [BN03] (warning): the interpreter zero-fills frames, so the read
+      yields 0 rather than garbage, but it is almost always a bug in the
+      kernel (and would be undefined behavior in real CUDA). *)
+
+module A = Dpc_kir.Ast
+module K = Dpc_kir.Kernel
+module V = Dpc_kir.Value
+module IntSet = Set.Make (Int)
+
+(* ------------------------------------------------------------------ *)
+(* Intervals                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type itv = { lo : int option; hi : int option }
+
+let top = { lo = None; hi = None }
+let const n = { lo = Some n; hi = Some n }
+let range l h = { lo = Some l; hi = h }
+
+let itv_to_string { lo; hi } =
+  let b pre = function None -> pre ^ "inf" | Some n -> string_of_int n in
+  Printf.sprintf "[%s, %s]" (b "-" lo) (b "+" hi)
+
+let lift2 f a b =
+  match (a, b) with Some x, Some y -> Some (f x y) | _ -> None
+
+(* Hull of two intervals (None absorbs: unbounded). *)
+let hull a b = { lo = lift2 Int.min a.lo b.lo; hi = lift2 Int.max a.hi b.hi }
+
+let add_itv a b = { lo = lift2 ( + ) a.lo b.lo; hi = lift2 ( + ) a.hi b.hi }
+let neg_itv a = { lo = Option.map Int.neg a.hi; hi = Option.map Int.neg a.lo }
+let sub_itv a b = add_itv a (neg_itv b)
+
+let nonneg a = match a.lo with Some l -> l >= 0 | None -> false
+
+(* Multiplication: track only the common all-non-negative case. *)
+let mul_itv a b =
+  if nonneg a && nonneg b then
+    { lo = lift2 ( * ) a.lo b.lo; hi = lift2 ( * ) a.hi b.hi }
+  else top
+
+let min_itv a b =
+  {
+    lo = lift2 Int.min a.lo b.lo;
+    hi =
+      (match (a.hi, b.hi) with
+      | Some x, Some y -> Some (Int.min x y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None);
+  }
+
+let max_itv a b =
+  {
+    lo =
+      (match (a.lo, b.lo) with
+      | Some x, Some y -> Some (Int.max x y)
+      | Some x, None | None, Some x -> Some x
+      | None, None -> None);
+    hi = lift2 Int.max a.hi b.hi;
+  }
+
+let special_itv ~warp_size = function
+  | A.Thread_idx | A.Warp_id | A.Block_idx -> range 0 None
+  | A.Lane_id -> range 0 (Some (warp_size - 1))
+  | A.Block_dim | A.Grid_dim -> range 1 None
+  | A.Warp_size -> const warp_size
+
+(* Per-slot state: [None] is bottom (no assignment seen yet).  A read of a
+   bottom slot folds to top — with the zero-fill seeding below it can only
+   happen transiently before the fixpoint converges. *)
+let rec expr_itv ~warp_size (slots : itv option array) (e : A.expr) : itv =
+  let ev = expr_itv ~warp_size slots in
+  match e with
+  | A.Const (V.Vint n) -> const n
+  | A.Const _ -> top
+  | A.Var v ->
+    if v.A.slot >= 0 then Option.value slots.(v.A.slot) ~default:top
+    else top
+  | A.Special s -> special_itv ~warp_size s
+  | A.Unop (A.Neg, a) -> neg_itv (ev a)
+  | A.Unop (A.Not, _) -> range 0 (Some 1)
+  | A.Unop ((A.To_int | A.To_float), a) -> ev a
+  | A.Binop (op, a, b) -> (
+    let ia = ev a and ib = ev b in
+    match op with
+    | A.Add -> add_itv ia ib
+    | A.Sub -> sub_itv ia ib
+    | A.Mul -> mul_itv ia ib
+    | A.Min -> min_itv ia ib
+    | A.Max -> max_itv ia ib
+    | A.Mod -> (
+      (* a mod b with b ≥ 1 and a ≥ 0: result in [0, hi(b) - 1] *)
+      match ib.lo with
+      | Some l when l >= 1 && nonneg ia ->
+        { lo = Some 0; hi = Option.map (fun h -> h - 1) ib.hi }
+      | _ -> top)
+    | A.Div -> (
+      match ib.lo with
+      | Some l when l >= 1 && nonneg ia ->
+        { lo = Some 0; hi = lift2 ( / ) ia.hi ib.lo }
+      | _ -> top)
+    | A.And | A.Or | A.Eq | A.Ne | A.Lt | A.Le | A.Gt | A.Ge ->
+      range 0 (Some 1)
+    | A.Bit_and ->
+      (* both non-negative: bounded by either side *)
+      if nonneg ia && nonneg ib then { lo = Some 0; hi = (min_itv ia ib).hi }
+      else top
+    | A.Shl | A.Shr | A.Bit_or | A.Bit_xor ->
+      if nonneg ia && nonneg ib then range 0 None else top)
+  | A.Load _ | A.Shared_load _ -> top
+  | A.Buf_len _ -> range 0 None
+
+(* ------------------------------------------------------------------ *)
+(* Use before def (shared by BN03 and the interval seeding)             *)
+(* ------------------------------------------------------------------ *)
+
+(** First undominated read of each slot: [(slot, variable name, path)]. *)
+let undominated_reads (k : K.t) : (int * string * string) list =
+  let params =
+    List.fold_left
+      (fun acc (p : A.param) ->
+        if p.A.pvar.A.slot >= 0 then IntSet.add p.A.pvar.A.slot acc else acc)
+      IntSet.empty k.K.params
+  in
+  let found = ref [] and seen = ref IntSet.empty in
+  let use path defined (e : A.expr) =
+    A.iter_expr
+      (fun x ->
+        match x with
+        | A.Var v
+          when v.A.slot >= 0
+               && (not (IntSet.mem v.A.slot defined))
+               && not (IntSet.mem v.A.slot !seen) ->
+          seen := IntSet.add v.A.slot !seen;
+          found := (v.A.slot, v.A.name, path) :: !found
+        | _ -> ())
+      e
+  in
+  let def (v : A.var) defined =
+    if v.A.slot >= 0 then IntSet.add v.A.slot defined else defined
+  in
+  let rec stmt path defined (s : A.stmt) : IntSet.t =
+    match s with
+    | A.Let (v, e) ->
+      use path defined e;
+      def v defined
+    | A.Store (b, i, x) ->
+      use path defined b;
+      use path defined i;
+      use path defined x;
+      defined
+    | A.Shared_store (_, i, x) ->
+      use path defined i;
+      use path defined x;
+      defined
+    | A.If (c, a, b) ->
+      use path defined c;
+      let da = block path "then" defined a
+      and db = block path "else" defined b in
+      IntSet.inter da db
+    | A.While (c, body) ->
+      use path defined c;
+      (* body may run zero times: its definitions do not survive *)
+      ignore (block path "while" defined body);
+      defined
+    | A.For (v, lo, hi, body) ->
+      use path defined lo;
+      use path defined hi;
+      let defined = def v defined in
+      ignore (block path "for" defined body);
+      defined
+    | A.Atomic { buf; idx; operand; compare; old; _ } ->
+      use path defined buf;
+      use path defined idx;
+      use path defined operand;
+      Option.iter (use path defined) compare;
+      (match old with Some v -> def v defined | None -> defined)
+    | A.Launch l ->
+      use path defined l.A.grid;
+      use path defined l.A.block;
+      List.iter (use path defined) l.A.args;
+      defined
+    | A.Malloc { dst; count; _ } ->
+      use path defined count;
+      def dst defined
+    | A.Free e ->
+      use path defined e;
+      defined
+    | A.Syncthreads | A.Device_sync | A.Grid_barrier | A.Return -> defined
+  and block parent label defined stmts =
+    let d = ref defined in
+    List.iteri
+      (fun i s -> d := stmt (Expr_util.sub parent label i) !d s)
+      stmts;
+    !d
+  in
+  let d = ref params in
+  List.iteri (fun i s -> d := stmt (Expr_util.top i) !d s) k.K.body;
+  List.rev !found
+
+(* ------------------------------------------------------------------ *)
+(* The interval fixpoint                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Converged per-slot intervals of a finalized kernel. *)
+let infer ?(warp_size = 32) (k : K.t) : itv array =
+  if not (K.is_finalized k) then K.finalize k;
+  let n = Int.max k.K.nslots 0 in
+  let slots : itv option array = Array.make n None in
+  (* Slots read before any dominating assignment see the zero fill. *)
+  List.iter
+    (fun (s, _, _) -> slots.(s) <- Some (const 0))
+    (undominated_reads k);
+  List.iter
+    (fun (p : A.param) ->
+      if p.A.pvar.A.slot >= 0 then slots.(p.A.pvar.A.slot) <- Some top)
+    k.K.params;
+  (* Widening: an endpoint that grows twice goes unbounded. *)
+  let grew_lo = Array.make n false and grew_hi = Array.make n false in
+  let changed = ref true in
+  let assign (v : A.var) itv =
+    if v.A.slot >= 0 then begin
+      let s = v.A.slot in
+      match slots.(s) with
+      | None ->
+        slots.(s) <- Some itv;
+        changed := true
+      | Some old ->
+        let h = hull old itv in
+        let lo =
+          if h.lo <> old.lo then
+            if grew_lo.(s) then None
+            else begin
+              grew_lo.(s) <- true;
+              h.lo
+            end
+          else h.lo
+        and hi =
+          if h.hi <> old.hi then
+            if grew_hi.(s) then None
+            else begin
+              grew_hi.(s) <- true;
+              h.hi
+            end
+          else h.hi
+        in
+        let next = { lo; hi } in
+        if next <> old then begin
+          slots.(s) <- Some next;
+          changed := true
+        end
+    end
+  in
+  let rec stmt (s : A.stmt) =
+    match s with
+    | A.Let (v, e) -> assign v (expr_itv ~warp_size slots e)
+    | A.If (_, a, b) ->
+      List.iter stmt a;
+      List.iter stmt b
+    | A.While (_, body) -> List.iter stmt body
+    | A.For (v, lo, hi, body) ->
+      (* v ranges over [lo, hi) *)
+      let ilo = expr_itv ~warp_size slots lo
+      and ihi = expr_itv ~warp_size slots hi in
+      assign v { lo = ilo.lo; hi = Option.map (fun h -> h - 1) ihi.hi };
+      List.iter stmt body
+    | A.Atomic { old = Some v; _ } -> assign v top
+    | A.Malloc { dst; _ } -> assign dst top
+    | A.Store _ | A.Shared_store _ | A.Atomic { old = None; _ }
+    | A.Launch _ | A.Free _ | A.Syncthreads | A.Device_sync
+    | A.Grid_barrier | A.Return ->
+      ()
+  in
+  while !changed do
+    changed := false;
+    List.iter stmt k.K.body
+  done;
+  Array.map (fun s -> Option.value s ~default:(const 0)) slots
+
+(* ------------------------------------------------------------------ *)
+(* Checks                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let check ?(warp_size = 32) (k : K.t) : Diag.t list =
+  let slots = infer ~warp_size k in
+  (* [infer] collapses bottom for its callers; the expression walker below
+     wants the option array shape back. *)
+  let oslots = Array.map Option.some slots in
+  let diags = ref [] in
+  let emit ~id ~severity ~path fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags :=
+          Diag.make ~id ~severity ~kernel:k.K.kname ~path ~line:k.K.line
+            "%s" message
+          :: !diags)
+      fmt
+  in
+  (* --- shared-extent checks ------------------------------------- *)
+  let shared_access path array idx =
+    match List.assoc_opt array k.K.shared with
+    | None -> () (* unknown array: the interpreter raises at runtime *)
+    | Some extent ->
+      let i = expr_itv ~warp_size oslots idx in
+      let definitely_out =
+        (match i.lo with Some l -> l >= extent | None -> false)
+        || match i.hi with Some h -> h < 0 | None -> false
+      in
+      if definitely_out then
+        emit ~id:"BN01" ~severity:Diag.Error ~path
+          "index of %s is always out of bounds: range %s vs extent %d"
+          array (itv_to_string i) extent
+      else begin
+        let may_high =
+          match i.hi with Some h -> h >= extent | None -> false
+        and may_low = match i.lo with Some l -> l < 0 | None -> false in
+        if may_high || may_low then
+          emit ~id:"BN02" ~severity:Diag.Warning ~path
+            "index of %s may go out of bounds: range %s vs extent %d"
+            array (itv_to_string i) extent
+      end
+  in
+  let rec bounds_stmt path (s : A.stmt) =
+    let exprs es = List.iter (bounds_expr path) es in
+    match s with
+    | A.Let (_, e) | A.Free e -> exprs [ e ]
+    | A.Store (b, i, v) -> exprs [ b; i; v ]
+    | A.Shared_store (array, idx, v) ->
+      exprs [ idx; v ];
+      shared_access path array idx
+    | A.If (c, a, b) ->
+      exprs [ c ];
+      List.iteri (fun i s -> bounds_stmt (Expr_util.sub path "then" i) s) a;
+      List.iteri (fun i s -> bounds_stmt (Expr_util.sub path "else" i) s) b
+    | A.While (c, body) ->
+      exprs [ c ];
+      List.iteri
+        (fun i s -> bounds_stmt (Expr_util.sub path "while" i) s)
+        body
+    | A.For (_, lo, hi, body) ->
+      exprs [ lo; hi ];
+      List.iteri (fun i s -> bounds_stmt (Expr_util.sub path "for" i) s) body
+    | A.Atomic { buf; idx; operand; compare; _ } ->
+      exprs [ buf; idx; operand ];
+      Option.iter (fun c -> exprs [ c ]) compare
+    | A.Launch l ->
+      exprs [ l.A.grid; l.A.block ];
+      exprs l.A.args
+    | A.Malloc { count; _ } -> exprs [ count ]
+    | A.Syncthreads | A.Device_sync | A.Grid_barrier | A.Return -> ()
+  and bounds_expr path (e : A.expr) =
+    A.iter_expr
+      (fun x ->
+        match x with
+        | A.Shared_load (array, idx) -> shared_access path array idx
+        | _ -> ())
+      e
+  in
+  List.iteri (fun i s -> bounds_stmt (Expr_util.top i) s) k.K.body;
+  (* --- use before def ------------------------------------------- *)
+  List.iter
+    (fun (_, name, path) ->
+      emit ~id:"BN03" ~severity:Diag.Warning ~path
+        "%s is read before any assignment dominates the use (the simulator \
+         zero-fills it)"
+        name)
+    (undominated_reads k);
+  Diag.sort !diags

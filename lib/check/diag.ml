@@ -1,0 +1,84 @@
+(** Structured diagnostics emitted by the kernel verifier.
+
+    Every finding carries a stable catalog id (the warning catalog is
+    documented in DESIGN.md §7), a severity, the kernel it was found in, a
+    statement path such as [body[3]/if/then[0]] locating the offending
+    node, and — when the front end recorded one — a source line.
+
+    Severities: [Error] marks code the simulator (or a real GPU) could
+    execute incorrectly (divergent barriers, definite out-of-bounds
+    accesses, illegal launch configurations); [Warning] marks
+    may-happen findings of the conservative analyses (possible races,
+    possible overflows, uninitialized reads).  [dpcc --check] exits
+    non-zero on errors; [--strict] promotes every diagnostic to fatal. *)
+
+type severity = Error | Warning
+
+type t = {
+  id : string;  (** catalog id, e.g. ["BD01"] *)
+  severity : severity;
+  kernel : string;
+  path : string;  (** statement path within the kernel body *)
+  line : int;  (** source line when known, else 0 *)
+  message : string;
+}
+
+let severity_to_string = function Error -> "error" | Warning -> "warning"
+
+let is_error d = d.severity = Error
+
+let make ~id ~severity ~kernel ?(path = "") ?(line = 0) fmt =
+  Printf.ksprintf
+    (fun message -> { id; severity; kernel; path; line; message })
+    fmt
+
+(** [file] prefixes the location when the program came from a file. *)
+let to_string ?file (d : t) =
+  let loc =
+    match (file, d.line) with
+    | Some f, l when l > 0 -> Printf.sprintf "%s:%d: " f l
+    | Some f, _ -> Printf.sprintf "%s: " f
+    | None, l when l > 0 -> Printf.sprintf "line %d: " l
+    | None, _ -> ""
+  in
+  let where =
+    if d.path = "" then d.kernel else Printf.sprintf "%s at %s" d.kernel d.path
+  in
+  Printf.sprintf "%s%s[%s] kernel %s: %s" loc
+    (severity_to_string d.severity)
+    d.id where d.message
+
+let to_json (d : t) : Dpc_prof.Json.t =
+  Dpc_prof.Json.Obj
+    [
+      ("id", Dpc_prof.Json.String d.id);
+      ("severity", Dpc_prof.Json.String (severity_to_string d.severity));
+      ("kernel", Dpc_prof.Json.String d.kernel);
+      ("path", Dpc_prof.Json.String d.path);
+      ("line", Dpc_prof.Json.Int d.line);
+      ("message", Dpc_prof.Json.String d.message);
+    ]
+
+let report_to_json (ds : t list) : Dpc_prof.Json.t =
+  Dpc_prof.Json.Obj
+    [
+      ("schema", Dpc_prof.Json.String "dpc-check-v1");
+      ( "errors",
+        Dpc_prof.Json.Int (List.length (List.filter is_error ds)) );
+      ( "warnings",
+        Dpc_prof.Json.Int
+          (List.length (List.filter (fun d -> not (is_error d)) ds)) );
+      ("diagnostics", Dpc_prof.Json.List (List.map to_json ds));
+    ]
+
+(** Stable presentation order: kernel, then path, then id. *)
+let sort (ds : t list) =
+  List.sort
+    (fun a b ->
+      match String.compare a.kernel b.kernel with
+      | 0 -> (
+        match String.compare a.path b.path with
+        | 0 -> String.compare a.id b.id
+        | c -> c)
+      | c -> c)
+    ds

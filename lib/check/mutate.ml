@@ -1,0 +1,377 @@
+(** Mutation harness: known-bad kernels the verifier must catch.
+
+    Each mutant seeds one specific bug class and names the catalog id the
+    verifier is required to raise on it; most mutants have a {e clean
+    twin} — the same kernel with the bug repaired — that must produce no
+    diagnostics at all, pinning the false-positive side of the analyses.
+    [dpcc --mutants] and the test suite both run {!all} through {!run}
+    and demand zero missed detections and zero dirty twins. *)
+
+module A = Dpc_kir.Ast
+module K = Dpc_kir.Kernel
+module B = Dpc_kir.Build
+module P = Dpc_kir.Pragma
+open B
+
+type mutant = {
+  mname : string;
+  analysis : string;  (** which pass owns the bug class *)
+  expect : string option;
+      (** required catalog id; [None] marks a clean twin that must lint
+          without a single diagnostic *)
+  program : unit -> K.Program.t;
+      (** fresh AST per call: var cells are mutable *)
+}
+
+let prog_of ks =
+  let p = K.Program.create () in
+  List.iter (K.Program.add p) ks;
+  p
+
+(* ------------------------------------------------------------------ *)
+(* Barrier divergence                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let bd01_divergent_sync () =
+  prog_of
+    [
+      kernel ~name:"bd01_divergent_sync" ~params:[ p "n" ]
+        [ if_then (tid <: v "n") [ sync ] ];
+    ]
+
+let bd01_warp_guard_sync () =
+  prog_of
+    [
+      kernel ~name:"bd01_warp_guard_sync"
+        [ if_then (warp ==: i 0) [ sync ] ];
+    ]
+
+let bd02_grid_barrier_one_block () =
+  prog_of
+    [
+      kernel ~name:"bd02_grid_barrier_one_block"
+        [ if_then (bid ==: i 0) [ grid_barrier ] ];
+    ]
+
+let bd03_divergent_return () =
+  prog_of
+    [
+      kernel ~name:"bd03_divergent_return"
+        [ if_then (tid ==: i 0) [ return ]; sync ];
+    ]
+
+let bd_clean_uniform_sync () =
+  prog_of
+    [
+      kernel ~name:"bd_clean_uniform_sync" ~params:[ p "n" ]
+        [
+          (* block-uniform condition around the barrier is legal *)
+          if_then (v "n" >: i 0) [ sync ];
+          while_ (v "n" >: i 0) [ sync; set "n" (v "n" -: i 1) ];
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Shared-memory races                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let sm01_broadcast_race () =
+  prog_of
+    [
+      kernel ~name:"sm01_broadcast_race" ~shared:[ ("s", 32) ]
+        [ shared_set "s" (i 0) tid ];
+    ]
+
+let sm02_missing_sync () =
+  prog_of
+    [
+      kernel ~name:"sm02_missing_sync" ~params:[ p "x" ]
+        ~shared:[ ("s", 32) ]
+        [
+          shared_set "s" tid (v "x");
+          (* no __syncthreads: reads the neighbour's slot unordered *)
+          set "y" (shared "s" ((tid +: i 1) %: i 32));
+        ];
+    ]
+
+let sm02_misplaced_barrier () =
+  prog_of
+    [
+      kernel ~name:"sm02_misplaced_barrier" ~params:[ p "n" ]
+        ~shared:[ ("s", 32) ]
+        [
+          for_ "it" ~from:(i 0) ~below:(v "n")
+            [
+              shared_set "s" tid (v "it");
+              sync;
+              (* tail read races with the head write of iteration it+1 *)
+              set "y" (shared "s" ((tid +: i 1) %: i 32));
+            ];
+        ];
+    ]
+
+let sm_clean_tid_indexed () =
+  prog_of
+    [
+      kernel ~name:"sm_clean_tid_indexed" ~params:[ p "x" ]
+        ~shared:[ ("s", 32) ]
+        [
+          shared_set "s" tid (v "x");
+          sync;
+          set "y" (shared "s" ((tid +: i 1) %: i 32));
+          sync;
+          shared_set "s" tid (v "y" +: i 1);
+        ];
+    ]
+
+let sm_clean_designated_writer () =
+  prog_of
+    [
+      kernel ~name:"sm_clean_designated_writer" ~params:[ p "n" ]
+        ~shared:[ ("s", 32) ]
+        [
+          if_then (tid ==: i 0) [ shared_set "s" (i 0) (v "n") ];
+          sync;
+          set "y" (shared "s" (i 0));
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Bounds and use-before-def                                            *)
+(* ------------------------------------------------------------------ *)
+
+let bn01_const_oob () =
+  prog_of
+    [
+      kernel ~name:"bn01_const_oob" ~shared:[ ("s", 64) ]
+        [ shared_set "s" (i 64) (i 1) ];
+    ]
+
+let bn02_loop_off_by_one () =
+  prog_of
+    [
+      kernel ~name:"bn02_loop_off_by_one" ~shared:[ ("s", 64) ]
+        [ for_ "j" ~from:(i 0) ~below:(i 65) [ shared_set "s" (v "j") (i 0) ] ];
+    ]
+
+let bn03_use_before_def () =
+  prog_of
+    [
+      kernel ~name:"bn03_use_before_def" ~params:[ p "n" ]
+        [ if_then (tid <: v "n") [ set "t" (i 1) ]; set "u" (v "t") ];
+    ]
+
+let bn_clean_exact_extent () =
+  prog_of
+    [
+      kernel ~name:"bn_clean_exact_extent" ~shared:[ ("s", 64) ]
+        [
+          for_ "j" ~from:(i 0) ~below:(i 64) [ shared_set "s" (v "j") (i 0) ];
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Launch / consolidation legality                                      *)
+(* ------------------------------------------------------------------ *)
+
+let child_ok ~name =
+  kernel ~name ~params:[ p "x" ] [ set "y" (v "x" +: i 1) ]
+
+let dp ?per_buffer_size ?total_size ?threads ?blocks () =
+  P.make ?per_buffer_size ?total_size ?threads ?blocks ~granularity:P.Warp
+    ~work:[ "w" ] ()
+
+let lc01_unknown_callee () =
+  prog_of
+    [
+      kernel ~name:"lc01_unknown_callee"
+        [ launch "missing_kernel" ~grid:(i 1) ~block:(i 32) [] ];
+    ]
+
+let lc02_arity_mismatch () =
+  prog_of
+    [
+      child_ok ~name:"lc02_child";
+      kernel ~name:"lc02_arity_mismatch"
+        [ launch "lc02_child" ~grid:(i 1) ~block:(i 32) [ i 1; i 2 ] ];
+    ]
+
+let lc03_block_too_big () =
+  prog_of
+    [
+      child_ok ~name:"lc03_child";
+      kernel ~name:"lc03_block_too_big"
+        [ launch "lc03_child" ~grid:(i 1) ~block:(i 2048) [ i 1 ] ];
+    ]
+
+let lc05_work_not_arg () =
+  prog_of
+    [
+      child_ok ~name:"lc05_child";
+      kernel ~name:"lc05_work_not_arg"
+        [
+          set "w" gtid;
+          launch ~pragma:(dp ()) "lc05_child" ~grid:(i 1) ~block:(i 1)
+            [ i 5 ];
+        ];
+    ]
+
+let lc06_uniform_reads_work () =
+  prog_of
+    [
+      kernel ~name:"lc06_child" ~params:[ p "x"; p "u" ]
+        [ set "y" (v "x" +: v "u") ];
+      kernel ~name:"lc06_uniform_reads_work"
+        [
+          set "w" gtid;
+          launch ~pragma:(dp ()) "lc06_child" ~grid:(i 1) ~block:(i 1)
+            [ v "w"; v "w" +: i 1 ];
+        ];
+    ]
+
+let lc07_unmaterialized_size () =
+  prog_of
+    [
+      child_ok ~name:"lc07_child";
+      kernel ~name:"lc07_unmaterialized_size"
+        [
+          set "w" gtid;
+          launch
+            ~pragma:(dp ~per_buffer_size:(P.Size_var "phantom") ())
+            "lc07_child" ~grid:(i 1) ~block:(i 1) [ v "w" ];
+        ];
+    ]
+
+let lc08_pool_too_small () =
+  prog_of
+    [
+      child_ok ~name:"lc08_child";
+      kernel ~name:"lc08_pool_too_small"
+        [
+          set "w" gtid;
+          launch
+            ~pragma:
+              (dp ~per_buffer_size:(P.Size_const 1_000_000) ~total_size:1024
+                 ())
+            "lc08_child" ~grid:(i 1) ~block:(i 1) [ v "w" ];
+        ];
+    ]
+
+let lc11_child_returns () =
+  prog_of
+    [
+      kernel ~name:"lc11_child" ~params:[ p "x" ]
+        [ if_then (v "x" <: i 0) [ return ]; set "y" (v "x") ];
+      kernel ~name:"lc11_child_returns"
+        [
+          set "w" gtid;
+          launch ~pragma:(dp ()) "lc11_child" ~grid:(i 1) ~block:(i 1)
+            [ v "w" ];
+        ];
+    ]
+
+let lc12_solo_thread_syncs () =
+  prog_of
+    [
+      kernel ~name:"lc12_child" ~params:[ p "x" ]
+        [ set "y" (v "x"); sync ];
+      kernel ~name:"lc12_solo_thread_syncs"
+        [
+          set "w" gtid;
+          launch ~pragma:(dp ()) "lc12_child" ~grid:(i 1) ~block:(i 1)
+            [ v "w" ];
+        ];
+    ]
+
+let lc_clean_annotated_launch () =
+  prog_of
+    [
+      child_ok ~name:"lc_clean_child";
+      kernel ~name:"lc_clean_annotated_launch" ~params:[ p "n" ]
+        [
+          set "w" gtid;
+          if_then (v "w" <: v "n")
+            [
+              launch
+                ~pragma:(dp ~per_buffer_size:(P.Size_const 8) ~threads:256 ())
+                "lc_clean_child" ~grid:(i 1) ~block:(i 1) [ v "w" ];
+            ];
+        ];
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* The catalog                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let all : mutant list =
+  [
+    { mname = "bd01_divergent_sync"; analysis = "uniformity";
+      expect = Some "BD01"; program = bd01_divergent_sync };
+    { mname = "bd01_warp_guard_sync"; analysis = "uniformity";
+      expect = Some "BD01"; program = bd01_warp_guard_sync };
+    { mname = "bd02_grid_barrier_one_block"; analysis = "uniformity";
+      expect = Some "BD02"; program = bd02_grid_barrier_one_block };
+    { mname = "bd03_divergent_return"; analysis = "uniformity";
+      expect = Some "BD03"; program = bd03_divergent_return };
+    { mname = "bd_clean_uniform_sync"; analysis = "uniformity";
+      expect = None; program = bd_clean_uniform_sync };
+    { mname = "sm01_broadcast_race"; analysis = "races";
+      expect = Some "SM01"; program = sm01_broadcast_race };
+    { mname = "sm02_missing_sync"; analysis = "races";
+      expect = Some "SM02"; program = sm02_missing_sync };
+    { mname = "sm02_misplaced_barrier"; analysis = "races";
+      expect = Some "SM02"; program = sm02_misplaced_barrier };
+    { mname = "sm_clean_tid_indexed"; analysis = "races";
+      expect = None; program = sm_clean_tid_indexed };
+    { mname = "sm_clean_designated_writer"; analysis = "races";
+      expect = None; program = sm_clean_designated_writer };
+    { mname = "bn01_const_oob"; analysis = "bounds";
+      expect = Some "BN01"; program = bn01_const_oob };
+    { mname = "bn02_loop_off_by_one"; analysis = "bounds";
+      expect = Some "BN02"; program = bn02_loop_off_by_one };
+    { mname = "bn03_use_before_def"; analysis = "bounds";
+      expect = Some "BN03"; program = bn03_use_before_def };
+    { mname = "bn_clean_exact_extent"; analysis = "bounds";
+      expect = None; program = bn_clean_exact_extent };
+    { mname = "lc01_unknown_callee"; analysis = "legality";
+      expect = Some "LC01"; program = lc01_unknown_callee };
+    { mname = "lc02_arity_mismatch"; analysis = "legality";
+      expect = Some "LC02"; program = lc02_arity_mismatch };
+    { mname = "lc03_block_too_big"; analysis = "legality";
+      expect = Some "LC03"; program = lc03_block_too_big };
+    { mname = "lc05_work_not_arg"; analysis = "legality";
+      expect = Some "LC05"; program = lc05_work_not_arg };
+    { mname = "lc06_uniform_reads_work"; analysis = "legality";
+      expect = Some "LC06"; program = lc06_uniform_reads_work };
+    { mname = "lc07_unmaterialized_size"; analysis = "legality";
+      expect = Some "LC07"; program = lc07_unmaterialized_size };
+    { mname = "lc08_pool_too_small"; analysis = "legality";
+      expect = Some "LC08"; program = lc08_pool_too_small };
+    { mname = "lc11_child_returns"; analysis = "legality";
+      expect = Some "LC11"; program = lc11_child_returns };
+    { mname = "lc12_solo_thread_syncs"; analysis = "legality";
+      expect = Some "LC12"; program = lc12_solo_thread_syncs };
+    { mname = "lc_clean_annotated_launch"; analysis = "legality";
+      expect = None; program = lc_clean_annotated_launch };
+  ]
+
+type outcome = {
+  mutant : mutant;
+  diags : Diag.t list;
+  ok : bool;
+      (** seeded mutants: the expected id was raised; clean twins: not a
+          single diagnostic *)
+}
+
+let run ?cfg (m : mutant) : outcome =
+  let diags = Check.check_program ?cfg (m.program ()) in
+  let ok =
+    match m.expect with
+    | Some id -> List.exists (fun (d : Diag.t) -> d.Diag.id = id) diags
+    | None -> diags = []
+  in
+  { mutant = m; diags; ok }
+
+let run_all ?cfg () : outcome list = List.map (run ?cfg) all
+
+let all_detected ?cfg () = List.for_all (fun o -> o.ok) (run_all ?cfg ())

@@ -1,0 +1,209 @@
+(** Shared-memory race detection (SM01–SM02).
+
+    The model is {e phase-based}: a kernel body is cut into phases at its
+    barriers ([__syncthreads] and the grid barrier), walking the
+    statement tree in program order.  Accesses to the same shared array by
+    different threads are unordered within a phase, so any same-phase
+    pair touching a common slot with at least one write is a potential
+    race.  A loop whose body contains a barrier is walked twice so that
+    accesses at the tail of iteration [i] meet accesses at the head of
+    iteration [i+1] in one phase (the wrap-around race of a mis-placed
+    barrier).
+
+    Two suppression rules keep the everyday [a[tid] = ...] patterns
+    quiet:
+
+    - {b thread-distinct indexes}: if both accesses use the {e same}
+      index expression and that expression is provably injective in
+      [threadIdx.x] ({!Expr_util.block_distinct}), distinct threads touch
+      distinct slots, and same-thread accesses are program-ordered;
+    - {b designated-thread guards}: two accesses under the same
+      [threadIdx.x == c] guard execute on one thread and are ordered.
+
+    Diagnostics:
+
+    - [SM01] (error): every thread writes one block-uniform slot with
+      thread-dependent values ([sh[0] = tid]) — a definite
+      write/write race.
+    - [SM02] (warning): same-phase accesses that may touch a common slot
+      (index expressions not provably disjoint), at least one a write;
+      or a lone write whose index is thread-dependent but not provably
+      injective ([sh[tid % 2] = x]).
+
+    The walk is linear over branches (both arms of an [if] land in the
+    current phase), which is exact for the race question: different
+    threads may take different arms concurrently. *)
+
+module A = Dpc_kir.Ast
+module K = Dpc_kir.Kernel
+module U = Uniformity
+
+type access = {
+  array : string;
+  idx : A.expr;
+  write : bool;
+  value : A.expr option;  (** stored expression, for writes *)
+  guard : string option;  (** innermost designated-thread guard key *)
+  path : string;
+}
+
+(* Split a kernel body into barrier-delimited phases of shared accesses. *)
+let phases_of (k : K.t) : access list list =
+  let phases = ref [] and cur = ref [] in
+  let new_phase () =
+    phases := List.rev !cur :: !phases;
+    cur := []
+  in
+  let add a = cur := a :: !cur in
+  (* reads inside an arbitrary expression *)
+  let reads ~guard ~path (e : A.expr) =
+    A.iter_expr
+      (fun x ->
+        match x with
+        | A.Shared_load (array, idx) ->
+          add { array; idx; write = false; value = None; guard; path }
+        | _ -> ())
+      e
+  in
+  let has_barrier_block body =
+    let f = ref false in
+    A.iter_block body
+      ~on_stmt:(function
+        | A.Syncthreads | A.Grid_barrier -> f := true
+        | _ -> ())
+      ~on_expr:(fun _ -> ());
+    !f
+  in
+  let rec stmt guard path (s : A.stmt) =
+    match s with
+    | A.Syncthreads | A.Grid_barrier -> new_phase ()
+    | A.Shared_store (array, idx, value) ->
+      reads ~guard ~path idx;
+      reads ~guard ~path value;
+      add { array; idx; write = true; value = Some value; guard; path }
+    | A.Let (_, e) | A.Free e -> reads ~guard ~path e
+    | A.Store (b, i, v) ->
+      reads ~guard ~path b;
+      reads ~guard ~path i;
+      reads ~guard ~path v
+    | A.If (c, a, b) ->
+      reads ~guard ~path c;
+      let guard' =
+        match Expr_util.single_thread_guard c with
+        | Some _ as g -> g
+        | None -> guard
+      in
+      List.iteri (fun i s -> stmt guard' (Expr_util.sub path "then" i) s) a;
+      (* the else-arm is NOT under the designated-thread guard *)
+      List.iteri (fun i s -> stmt guard (Expr_util.sub path "else" i) s) b
+    | A.While (c, body) ->
+      reads ~guard ~path c;
+      let visit () =
+        List.iteri
+          (fun i s -> stmt guard (Expr_util.sub path "while" i) s)
+          body
+      in
+      visit ();
+      if has_barrier_block body then visit ()
+    | A.For (_, lo, hi, body) ->
+      reads ~guard ~path lo;
+      reads ~guard ~path hi;
+      let visit () =
+        List.iteri (fun i s -> stmt guard (Expr_util.sub path "for" i) s) body
+      in
+      visit ();
+      if has_barrier_block body then visit ()
+    | A.Atomic { buf; idx; operand; compare; _ } ->
+      reads ~guard ~path buf;
+      reads ~guard ~path idx;
+      reads ~guard ~path operand;
+      Option.iter (reads ~guard ~path) compare
+    | A.Launch l ->
+      reads ~guard ~path l.A.grid;
+      reads ~guard ~path l.A.block;
+      List.iter (reads ~guard ~path) l.A.args
+    | A.Malloc { count; _ } -> reads ~guard ~path count
+    | A.Device_sync | A.Return -> ()
+  in
+  List.iteri (fun i s -> stmt None (Expr_util.top i) s) k.K.body;
+  new_phase ();
+  List.rev !phases
+
+(* Indices provably never equal: distinct constants. *)
+let disjoint a b =
+  match (Expr_util.const_int a, Expr_util.const_int b) with
+  | Some x, Some y -> x <> y
+  | _ -> false
+
+let check (k : K.t) : Diag.t list =
+  if k.K.shared = [] then []
+  else begin
+    let levels = U.infer k in
+    let thread_dep e =
+      U.rank (U.expr_level levels e) > U.rank U.Block_uniform
+    in
+    let diags = ref [] in
+    let emit ~id ~severity ~path fmt =
+      Printf.ksprintf
+        (fun message ->
+          diags :=
+            Diag.make ~id ~severity ~kernel:k.K.kname ~path ~line:k.K.line
+              "%s" message
+            :: !diags)
+        fmt
+    in
+    (* A lone write executed by colliding threads races with itself. *)
+    let self_race (a : access) =
+      if a.write && a.guard = None && not (Expr_util.block_distinct a.idx)
+      then
+        if thread_dep a.idx then
+          emit ~id:"SM02" ~severity:Diag.Warning ~path:a.path
+            "write to %s: index is thread-dependent but not provably \
+             distinct per thread; threads may collide on one slot"
+            a.array
+        else if
+          match a.value with Some v -> thread_dep v | None -> false
+        then
+          emit ~id:"SM01" ~severity:Diag.Error ~path:a.path
+            "every thread writes the same slot of %s with \
+             thread-dependent values: write/write race"
+            a.array
+    in
+    (* A same-phase pair on one array, at least one write. *)
+    let pair_race (a : access) (b : access) =
+      if a.array = b.array && (a.write || b.write) then
+        if a.guard <> None && a.guard = b.guard then () (* same thread *)
+        else if Expr_util.equal a.idx b.idx then begin
+          (* same index expression: safe only when thread-distinct *)
+          if not (Expr_util.block_distinct a.idx) then
+            (* the colliding-write cases are already reported by
+               [self_race]; here catch cross-access read/write pairs
+               like a designated-thread write vs an unguarded read *)
+            if not (a.write && b.write) then
+              emit ~id:"SM02" ~severity:Diag.Warning ~path:b.path
+                "unsynchronized read/write of one slot of %s in the same \
+                 barrier phase (accesses at %s and %s)"
+                a.array a.path b.path
+        end
+        else if not (disjoint a.idx b.idx) then
+          emit ~id:"SM02" ~severity:Diag.Warning ~path:b.path
+            "accesses to %s with indexes %s may overlap across threads in \
+             the same barrier phase (accesses at %s and %s)"
+            a.array
+            (if a.write && b.write then "(write/write)" else "(read/write)")
+            a.path b.path
+    in
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+        List.iter (pair_race a) rest;
+        pairs rest
+    in
+    List.iter
+      (fun phase ->
+        List.iter self_race phase;
+        pairs phase)
+      (phases_of k);
+    (* A pair inside a loop is visited twice; collapse duplicates. *)
+    List.sort_uniq compare !diags |> Diag.sort
+  end

@@ -1,0 +1,188 @@
+(** Barrier-divergence analysis (BD01–BD03).
+
+    An abstract {e uniformity} value is attached to every frame slot and
+    every expression:
+
+    {v  Uniform ⊑ Block_uniform ⊑ Warp_uniform ⊑ Divergent  v}
+
+    [Uniform] means all threads of the grid agree on the value,
+    [Block_uniform] all threads of one block, [Warp_uniform] all lanes of
+    one warp, [Divergent] nothing provable.  The join is the coarser of
+    the two sides.  Seeds: [threadIdx.x] and [laneId] are divergent,
+    [warpId] is warp-uniform, [blockIdx.x] is block-uniform, and
+    [blockDim.x] / [gridDim.x] / [warpSize] and kernel parameters are
+    uniform (launch arguments are shared by every thread).
+
+    Loads join the uniformity of their operands — i.e. a load from a
+    uniformly computed address is assumed to see a single value.  That is
+    only sound for race-free programs, which is exactly the property the
+    {!Races} pass patrols; the two analyses together keep each other
+    honest (DESIGN.md §7).
+
+    Slot levels are computed by a flow-insensitive fixpoint: an assignment
+    contributes [join ctx (level rhs)] where [ctx] is the uniformity of
+    the enclosing control conditions — a write under a divergent branch
+    yields a divergent variable even if the right-hand side is uniform,
+    because {e whether} the write happened now depends on the thread.
+
+    A second pass walks the body with the converged levels and reports:
+
+    - [BD01] (error): [__syncthreads] under a condition that is not
+      block-uniform.  Warps that skip the barrier deadlock the block.
+    - [BD02] (error): the custom grid barrier under a condition that is
+      not grid-uniform.  Blocks that skip it break the arrival count.
+    - [BD03] (warning): [return] under a condition more divergent than a
+      barrier appearing in the same kernel tolerates; threads that leave
+      early are missed at the barrier. *)
+
+module A = Dpc_kir.Ast
+module K = Dpc_kir.Kernel
+
+type level = Uniform | Block_uniform | Warp_uniform | Divergent
+
+let rank = function
+  | Uniform -> 0
+  | Block_uniform -> 1
+  | Warp_uniform -> 2
+  | Divergent -> 3
+
+let join a b = if rank a >= rank b then a else b
+
+let level_to_string = function
+  | Uniform -> "uniform"
+  | Block_uniform -> "block-uniform"
+  | Warp_uniform -> "warp-uniform"
+  | Divergent -> "divergent"
+
+let special_level = function
+  | A.Thread_idx | A.Lane_id -> Divergent
+  | A.Warp_id -> Warp_uniform
+  | A.Block_idx -> Block_uniform
+  | A.Block_dim | A.Grid_dim | A.Warp_size -> Uniform
+
+let scope_level = function
+  | A.Per_warp -> Warp_uniform
+  | A.Per_block -> Block_uniform
+  | A.Per_grid -> Uniform
+
+let rec expr_level levels (e : A.expr) =
+  match e with
+  | A.Const _ -> Uniform
+  | A.Var v -> if v.A.slot >= 0 then levels.(v.A.slot) else Divergent
+  | A.Special s -> special_level s
+  | A.Unop (_, a) -> expr_level levels a
+  | A.Binop (_, a, b) -> join (expr_level levels a) (expr_level levels b)
+  | A.Load (b, i) -> join (expr_level levels b) (expr_level levels i)
+  | A.Shared_load (_, i) ->
+    (* distinct blocks hold distinct copies of the array *)
+    join Block_uniform (expr_level levels i)
+  | A.Buf_len b -> expr_level levels b
+
+(** Converged per-slot uniformity levels of a finalized kernel. *)
+let infer (k : K.t) : level array =
+  if not (K.is_finalized k) then K.finalize k;
+  let levels = Array.make (Int.max k.K.nslots 0) Uniform in
+  let changed = ref true in
+  let assign (v : A.var) lv =
+    if v.A.slot >= 0 then begin
+      let lv' = join levels.(v.A.slot) lv in
+      if lv' <> levels.(v.A.slot) then begin
+        levels.(v.A.slot) <- lv';
+        changed := true
+      end
+    end
+  in
+  let rec stmt ctx (s : A.stmt) =
+    match s with
+    | A.Let (v, e) -> assign v (join ctx (expr_level levels e))
+    | A.If (c, a, b) ->
+      let ctx' = join ctx (expr_level levels c) in
+      List.iter (stmt ctx') a;
+      List.iter (stmt ctx') b
+    | A.While (c, body) ->
+      let ctx' = join ctx (expr_level levels c) in
+      List.iter (stmt ctx') body
+    | A.For (v, lo, hi, body) ->
+      assign v
+        (join ctx (join (expr_level levels lo) (expr_level levels hi)));
+      let ctx' = if v.A.slot >= 0 then levels.(v.A.slot) else Divergent in
+      List.iter (stmt (join ctx ctx')) body
+    | A.Atomic { old = Some v; _ } ->
+      (* each thread receives its own pre-update value *)
+      assign v Divergent
+    | A.Malloc { dst; scope; _ } -> assign dst (join ctx (scope_level scope))
+    | A.Store _ | A.Shared_store _ | A.Atomic { old = None; _ }
+    | A.Launch _ | A.Free _ | A.Syncthreads | A.Device_sync
+    | A.Grid_barrier | A.Return ->
+      ()
+  in
+  while !changed do
+    changed := false;
+    List.iter (stmt Uniform) k.K.body
+  done;
+  levels
+
+let check (k : K.t) : Diag.t list =
+  let levels = infer k in
+  let has_sync = ref false and has_gbar = ref false in
+  List.iter
+    (A.iter_stmt
+       ~on_stmt:(function
+         | A.Syncthreads -> has_sync := true
+         | A.Grid_barrier -> has_gbar := true
+         | _ -> ())
+       ~on_expr:(fun _ -> ()))
+    k.K.body;
+  let diags = ref [] in
+  let emit ~id ~severity ~path fmt =
+    Printf.ksprintf
+      (fun message ->
+        diags :=
+          Diag.make ~id ~severity ~kernel:k.K.kname ~path ~line:k.K.line
+            "%s" message
+          :: !diags)
+      fmt
+  in
+  let rec stmt ctx path (s : A.stmt) =
+    match s with
+    | A.Syncthreads ->
+      if rank ctx > rank Block_uniform then
+        emit ~id:"BD01" ~severity:Diag.Error ~path
+          "__syncthreads under a %s condition: warps that skip the \
+           barrier deadlock the block"
+          (level_to_string ctx)
+    | A.Grid_barrier ->
+      if rank ctx > rank Uniform then
+        emit ~id:"BD02" ~severity:Diag.Error ~path
+          "grid barrier under a %s condition: blocks that skip it break \
+           the arrival protocol"
+          (level_to_string ctx)
+    | A.Return ->
+      if !has_sync && rank ctx > rank Block_uniform then
+        emit ~id:"BD03" ~severity:Diag.Warning ~path
+          "return under a %s condition in a kernel that synchronizes: \
+           threads that exit early are missed at __syncthreads"
+          (level_to_string ctx)
+      else if !has_gbar && rank ctx > rank Uniform then
+        emit ~id:"BD03" ~severity:Diag.Warning ~path
+          "return under a %s condition in a kernel with a grid barrier: \
+           blocks that exit early are missed at the barrier"
+          (level_to_string ctx)
+    | A.If (c, a, b) ->
+      let ctx' = join ctx (expr_level levels c) in
+      List.iteri (fun i s -> stmt ctx' (Expr_util.sub path "then" i) s) a;
+      List.iteri (fun i s -> stmt ctx' (Expr_util.sub path "else" i) s) b
+    | A.While (c, body) ->
+      let ctx' = join ctx (expr_level levels c) in
+      List.iteri (fun i s -> stmt ctx' (Expr_util.sub path "while" i) s) body
+    | A.For (v, _, _, body) ->
+      let ctx' =
+        join ctx (if v.A.slot >= 0 then levels.(v.A.slot) else Divergent)
+      in
+      List.iteri (fun i s -> stmt ctx' (Expr_util.sub path "for" i) s) body
+    | A.Let _ | A.Store _ | A.Shared_store _ | A.Atomic _ | A.Launch _
+    | A.Malloc _ | A.Free _ | A.Device_sync ->
+      ()
+  in
+  List.iteri (fun i s -> stmt Uniform (Expr_util.top i) s) k.K.body;
+  Diag.sort !diags

@@ -452,7 +452,7 @@ let make_consolidated_child (site : site) (child : K.t) ~name : K.t =
     @ [ A.param ~ty:A.Tptr_int buf_param; A.param ~ty:A.Tptr_int cnt_param ]
   in
   let bindings it = fetch_bindings site child ~buf:buf_param it in
-  K.make ~name ~params ~shared:child.K.shared
+  K.make ~name ~line:child.K.line ~params ~shared:child.K.shared
     (wrap_fetch site ~cnt:cnt_param ~bindings body')
 
 (* ------------------------------------------------------------------ *)
@@ -577,7 +577,7 @@ type result = {
 let seed_param_note = (buf_param, cnt_param)
 
 let copy_kernel (k : K.t) : K.t =
-  K.make ~name:k.K.kname
+  K.make ~name:k.K.kname ~line:k.K.line
     ~params:
       (List.map (fun (p : A.param) -> A.param ~ty:p.A.ptype p.A.pname)
          k.K.params)
@@ -689,7 +689,7 @@ let apply ?policy ~(cfg : Cfg.t) ~(parent : string) (prog : K.Program.t) :
       @ tail
     in
     let p' =
-      K.make ~name:parent
+      K.make ~name:parent ~line:p.K.line
         ~params:
           (List.map (fun (pp : A.param) -> A.param ~ty:pp.A.ptype pp.A.pname)
              p.K.params)
@@ -758,7 +758,9 @@ let apply ?policy ~(cfg : Cfg.t) ~(parent : string) (prog : K.Program.t) :
       uniform_params
       @ [ A.param ~ty:A.Tptr_int buf_param; A.param ~ty:A.Tptr_int cnt_param ]
     in
-    let c_cons = K.make ~name:cons ~params ~shared:child.K.shared body in
+    let c_cons =
+      K.make ~name:cons ~line:child.K.line ~params ~shared:child.K.shared body
+    in
     K.Program.add out c_cons;
     Option.iter (K.Program.add out) post_kernel;
     finish ~entry:cons

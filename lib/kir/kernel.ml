@@ -10,6 +10,7 @@ type t = {
   params : Ast.param list;
   shared : (string * int) list;  (** shared arrays: name, element count *)
   body : Ast.stmt list;
+  line : int;  (** source line of the definition; 0 when built in memory *)
   mutable nslots : int;  (** -1 until finalized *)
   mutable nsites : int;  (** number of Malloc sites; -1 until finalized *)
   mutable typing : Typing.t option;
@@ -21,7 +22,7 @@ exception Invalid_kernel of string
 
 let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_kernel s)) fmt
 
-let make ~name ?(params = []) ?(shared = []) body =
+let make ~name ?(params = []) ?(shared = []) ?(line = 0) body =
   let seen = Hashtbl.create 8 in
   List.iter
     (fun (p : Ast.param) ->
@@ -29,7 +30,14 @@ let make ~name ?(params = []) ?(shared = []) body =
         invalid "kernel %s: duplicate parameter %s" name p.pname;
       Hashtbl.add seen p.pname ())
     params;
-  { kname = name; params; shared; body; nslots = -1; nsites = -1; typing = None }
+  { kname = name; params; shared; body; line; nslots = -1; nsites = -1;
+    typing = None }
+
+(** Hook run on every kernel at the end of {!finalize}.  [Dpc_check]
+    installs its strict verifier here so that every finalized kernel is
+    statically vetted before it can reach the interpreter; the default is
+    a no-op.  The hook may raise to reject the kernel. *)
+let finalize_check : (t -> unit) ref = ref (fun _ -> ())
 
 (** Resolve variable slots and number allocation sites.  Idempotent; must
     be called (via {!Program.finalize}) before interpretation. *)
@@ -51,7 +59,8 @@ let finalize (k : t) =
   k.nsites <- !site;
   k.typing <-
     Some
-      (Typing.infer ~params:k.params ~shared:k.shared ~nslots:k.nslots k.body)
+      (Typing.infer ~params:k.params ~shared:k.shared ~nslots:k.nslots k.body);
+  !finalize_check k
 
 let is_finalized k = k.nslots >= 0
 

@@ -28,6 +28,7 @@ type t = {
   work : string list;
   threads : int option;
   blocks : int option;
+  line : int;  (** source line of the directive; 0 when built in memory *)
 }
 
 let default_total_size = 500 * 1024 * 1024  (* 500 MB, Section IV.E *)
@@ -37,9 +38,10 @@ let default_total_size = 500 * 1024 * 1024  (* 500 MB, Section IV.E *)
 let default_items_per_thread = 4
 
 let make ?(buffer = Custom) ?per_buffer_size ?total_size ?threads ?blocks
-    ~granularity ~work () =
+    ?(line = 0) ~granularity ~work () =
   if work = [] then invalid_arg "Pragma.make: empty work varlist";
-  { granularity; buffer; per_buffer_size; total_size; work; threads; blocks }
+  { granularity; buffer; per_buffer_size; total_size; work; threads; blocks;
+    line }
 
 let granularity_to_string = function
   | Warp -> "warp"

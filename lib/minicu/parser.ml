@@ -340,11 +340,15 @@ let parse_atomic_call s op =
   expect s T.Rparen;
   (buf, idx, operand, compare)
 
+let cur_line (s : state) =
+  if s.pos < Array.length s.toks then s.toks.(s.pos).Lexer.line else 0
+
 let rec parse_stmt s : A.stmt =
   match cur s with
   | T.Pragma text -> (
+    let line = cur_line s in
     advance s;
-    match Pragma_parser.parse text with
+    match Pragma_parser.parse ~line text with
     | Some pragma -> parse_launch s (Some pragma)
     | None -> error s "only #pragma dp directives are supported")
   | T.Ident "launch" -> parse_launch s None
@@ -524,6 +528,7 @@ let parse_type s : A.ty =
   | other -> error s "unknown type %S" other
 
 let parse_kernel s : K.t =
+  let line = cur_line s in
   expect_keyword s "__global__";
   expect_keyword s "void";
   let name = expect_ident s in
@@ -564,7 +569,7 @@ let parse_kernel s : K.t =
     body := parse_stmt s :: !body
   done;
   expect s T.Rbrace;
-  K.make ~name ~params:(List.rev !params) ~shared:(List.rev !shared)
+  K.make ~name ~params:(List.rev !params) ~shared:(List.rev !shared) ~line
     (List.rev !body)
 
 (** Parse a full MiniCU source file into a program. *)

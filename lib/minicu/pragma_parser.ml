@@ -107,8 +107,9 @@ let clause_of acc name args =
   | other, _ -> error "unknown #pragma dp clause %S" other
 
 (** Parse the text following [#pragma] (e.g. ["dp consldt(grid) work(x)"]).
-    Returns [None] if the pragma is not a [dp] directive. *)
-let parse (text : string) : Pragma.t option =
+    Returns [None] if the pragma is not a [dp] directive.  [line] is the
+    source line of the directive, recorded for diagnostics. *)
+let parse ?(line = 0) (text : string) : Pragma.t option =
   match scan text with
   | Id "dp" :: rest ->
     let acc =
@@ -145,5 +146,5 @@ let parse (text : string) : Pragma.t option =
     Some
       (Pragma.make ~granularity ~work:acc.work ~buffer:acc.buffer
          ?per_buffer_size:acc.per_buffer_size ?total_size:acc.total_size
-         ?threads:acc.threads ?blocks:acc.blocks ())
+         ?threads:acc.threads ?blocks:acc.blocks ~line ())
   | _ -> None

@@ -7,6 +7,8 @@ exception Pragma_error of string
 
 (** [parse text] is [Some pragma] for a [dp] directive, [None] for any
     other pragma (which callers should ignore, as C compilers do).
+    [line] is the directive's source line, stored in the result for
+    diagnostics (default 0 = unknown).
     @raise Pragma_error on a malformed [dp] directive (unknown clause,
     missing [consldt]/[work], bad arguments). *)
-val parse : string -> Dpc_kir.Pragma.t option
+val parse : ?line:int -> string -> Dpc_kir.Pragma.t option

@@ -208,6 +208,101 @@ let test_pp_precedence_cases () =
       Alcotest.(check string) expect expect (Pp.expr e))
     cases
 
+(* --- slot-type inference edge cases --------------------------------------- *)
+
+let typing_of k =
+  Kernel.finalize k;
+  match k.Kernel.typing with
+  | Some ty -> ty
+  | None -> Alcotest.fail "finalize did not populate typing"
+
+let slot_named k name =
+  let found = ref (-1) in
+  let note (v : A.var) = if v.A.name = name && v.A.slot >= 0 then found := v.A.slot in
+  A.iter_block k.Kernel.body
+    ~on_stmt:(fun s ->
+      match s with
+      | A.Let (v, _) | A.For (v, _, _, _) -> note v
+      | _ -> ())
+    ~on_expr:(fun e -> match e with A.Var v -> note v | _ -> ());
+  List.iter (fun (p : A.param) -> if p.A.pname = name then note p.A.pvar) k.Kernel.params;
+  if !found < 0 then Alcotest.failf "no slot named %s" name;
+  !found
+
+let check_slot_ty k name expect =
+  let ty = typing_of k in
+  Alcotest.(check string)
+    name
+    (Typing.slot_ty_to_string expect)
+    (Typing.slot_ty_to_string ty.Typing.slots.(slot_named k name))
+
+let test_typing_divergent_join () =
+  (* A slot assigned an int on one path and a float on the other joins to
+     boxed; a slot consistently float on both stays unboxed float. *)
+  let k =
+    kernel ~name:"tj" ~params:[ p "n" ]
+      [
+        if_ (tid <: v "n") [ set "x" (i 1) ] [ set "x" (f 2.0) ];
+        if_ (tid <: v "n") [ set "y" (f 1.0) ] [ set "y" (f 2.0) ];
+        set "z" (v "x");
+      ]
+  in
+  check_slot_ty k "x" Typing.St_boxed;
+  check_slot_ty k "y" Typing.St_float;
+  (* a copy of a boxed slot is itself boxed *)
+  check_slot_ty k "z" Typing.St_boxed
+
+let test_typing_buffer_element_conflict () =
+  (* A pointer slot that may alias int* and float* buffers keeps buffer-ness
+     but loses the element type, so loads through it are dynamic. *)
+  let k =
+    kernel ~name:"bc" ~params:[ pi "a"; pp "b"; p "n" ]
+      [
+        if_ (tid <: v "n") [ set "ptr" (v "a") ] [ set "ptr" (v "b") ];
+        set "e" (load (v "ptr") (i 0));
+        set "ei" (load (v "a") (i 0));
+        set "ef" (load (v "b") (i 0));
+      ]
+  in
+  check_slot_ty k "ptr" (Typing.St_buf Typing.Eany);
+  check_slot_ty k "e" Typing.St_boxed;
+  check_slot_ty k "ei" Typing.St_int;
+  check_slot_ty k "ef" Typing.St_float
+
+let test_typing_shared_inference () =
+  (* Shared arrays: all-int stores stay unboxed, a single float store
+     (or a store of a boxed slot) boxes the whole array. *)
+  let k =
+    kernel ~name:"sh" ~params:[ p "n" ] ~shared:[ ("si", 32); ("sf", 32) ]
+      [
+        shared_set "si" tid (tid +: i 1);
+        shared_set "sf" tid (f 0.5);
+        set "r" (shared "si" tid);
+      ]
+  in
+  let ty = typing_of k in
+  let sh name = List.assoc name ty.Typing.shared in
+  Alcotest.(check bool) "si unboxed int" true (sh "si" = Typing.Sh_int);
+  Alcotest.(check bool) "sf boxed" true (sh "sf" = Typing.Sh_boxed);
+  (* loads from an int shared array produce int slots *)
+  check_slot_ty k "r" Typing.St_int
+
+let test_typing_use_before_def_joins_int () =
+  (* The frame zero-fills slots, so a use not dominated by an assignment
+     joins Vint 0: a float-assigned slot read early becomes boxed, while
+     the same kernel with a dominating assignment stays float. *)
+  let early =
+    kernel ~name:"ub1" ~params:[ p "n" ]
+      [ if_then (tid <: v "n") [ set "x" (f 1.0) ]; set "y" (v "x") ]
+  in
+  check_slot_ty early "x" Typing.St_boxed;
+  let dominated =
+    kernel ~name:"ub2" ~params:[ p "n" ]
+      [ set "x" (f 1.0); if_then (tid <: v "n") [ set "x" (f 2.0) ]; set "y" (v "x") ]
+  in
+  check_slot_ty dominated "x" Typing.St_float;
+  check_slot_ty dominated "y" Typing.St_float
+
 let suite =
   [
     Alcotest.test_case "finalize slots" `Quick test_finalize_slots;
@@ -224,4 +319,10 @@ let suite =
     Alcotest.test_case "rewrite launch hook" `Quick test_rewrite_launch_hook;
     QCheck_alcotest.to_alcotest prop_print_parse_roundtrip;
     Alcotest.test_case "pp precedence" `Quick test_pp_precedence_cases;
+    Alcotest.test_case "typing divergent join" `Quick test_typing_divergent_join;
+    Alcotest.test_case "typing buffer conflict" `Quick
+      test_typing_buffer_element_conflict;
+    Alcotest.test_case "typing shared arrays" `Quick test_typing_shared_inference;
+    Alcotest.test_case "typing use before def" `Quick
+      test_typing_use_before_def_joins_int;
   ]

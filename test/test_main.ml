@@ -18,4 +18,5 @@ let () =
       ("free-launch", Test_free_launch.suite);
       ("experiments", Test_experiments.suite);
       ("prof", Test_prof.suite);
+      ("check", Test_check.suite);
     ]
