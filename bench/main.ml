@@ -17,6 +17,15 @@
         A4  perBufferSize sizing vs overflow fallbacks
         A5  basic-dp slowdown growth with problem scale
 
+   3. The compiled-kernel cache sweep (--cache-sweep, also part of the
+      default run): one scenario sweep executed through a caching and a
+      cacheless Dpc_engine session, wall-clocked, written to
+      BENCH_pr5.json.
+
+   App runs go through Dpc_engine scenarios: the ablation sweeps share
+   one caching session; the bechamel rows use a cacheless session so
+   each iteration measures the full parse/transform/simulate pipeline.
+
    Run with:  dune exec bench/main.exe *)
 
 open Bechamel
@@ -29,21 +38,24 @@ module Pragma = Dpc_kir.Pragma
 module V = Dpc_kir.Value
 module Mem = Dpc_gpu.Memory
 module Device = Dpc_sim.Device
+module Scenario = Dpc_engine.Scenario
+module Session = Dpc_engine.Session
+module Json = Dpc_prof.Json
 
 let grid = H.Cons Pragma.Grid
 let warp = H.Cons Pragma.Warp
 
-(* Run [f] under a specific interpreter back end, restoring the session
-   default afterwards (used by the compiled-vs-walker rows below). *)
-let with_interp mode f =
-  let saved = Dpc_sim.Interp.default_mode () in
-  Dpc_sim.Interp.set_default_mode mode;
-  Fun.protect ~finally:(fun () -> Dpc_sim.Interp.set_default_mode saved) f
-
 (* --- 1. bechamel microbenchmarks (one per table/figure) ------------------- *)
+
+(* Cacheless on purpose: every iteration re-runs the whole toolchain,
+   which is what these rows measure. *)
+let bench_session = Session.create ~cache:false ()
+
+let srun sc = ignore (Session.run bench_session sc)
 
 let bechamel_tests =
   let t name f = Test.make ~name (Staged.stage f) in
+  let sc = Scenario.make in
   [
     (* Table I: directive parsing. *)
     t "tableI/pragma-parse" (fun () ->
@@ -60,48 +72,38 @@ let bechamel_tests =
         ignore (Dpc.Transform.apply ~cfg:Cfg.k20c ~parent:"sssp_parent" prog));
     (* Fig 5: one SSSP consolidated run per allocator extreme. *)
     t "fig5/sssp-warp-default" (fun () ->
-        ignore
-          (Dpc_apps.Sssp.run ~scale:800 ~alloc:Dpc_alloc.Allocator.Default warp));
+        srun (sc ~app:"SSSP" ~alloc:Dpc_alloc.Allocator.Default ~scale:800 warp));
     t "fig5/sssp-warp-prealloc" (fun () ->
-        ignore
-          (Dpc_apps.Sssp.run ~scale:800 ~alloc:Dpc_alloc.Allocator.Pool warp));
+        srun (sc ~app:"SSSP" ~alloc:Dpc_alloc.Allocator.Pool ~scale:800 warp));
     (* Fig 6: policy points on TD. *)
     t "fig6/td-grid-KC1" (fun () ->
-        ignore
-          (Dpc_apps.Tree_descendants.run ~scale:16
-             ~policy:(Dpc.Config_select.Kc 1) grid));
+        srun (sc ~app:"TD" ~scale:16 ~policy:(Dpc.Config_select.Kc 1) grid));
     t "fig6/td-grid-1to1" (fun () ->
-        ignore
-          (Dpc_apps.Tree_descendants.run ~scale:16
-             ~policy:Dpc.Config_select.One_to_one grid));
+        srun (sc ~app:"TD" ~scale:16 ~policy:Dpc.Config_select.One_to_one grid));
     (* Figs 7-10: each benchmark app end to end. *)
-    t "fig7/sssp-basic" (fun () -> ignore (Dpc_apps.Sssp.run ~scale:800 H.Basic));
-    t "fig7/sssp-grid" (fun () -> ignore (Dpc_apps.Sssp.run ~scale:800 grid));
-    t "fig7/spmv-grid" (fun () -> ignore (Dpc_apps.Spmv.run ~scale:1500 grid));
+    t "fig7/sssp-basic" (fun () -> srun (sc ~app:"SSSP" ~scale:800 H.Basic));
+    t "fig7/sssp-grid" (fun () -> srun (sc ~app:"SSSP" ~scale:800 grid));
+    t "fig7/spmv-grid" (fun () -> srun (sc ~app:"SpMV" ~scale:1500 grid));
     t "fig7/pagerank-grid" (fun () ->
-        ignore (Dpc_apps.Pagerank.run ~scale:800 grid));
-    t "fig7/gc-grid" (fun () ->
-        ignore (Dpc_apps.Graph_coloring.run ~scale:9 grid));
-    t "fig7/bfs-rec-grid" (fun () -> ignore (Dpc_apps.Bfs_rec.run ~scale:9 grid));
-    t "fig7/th-grid" (fun () ->
-        ignore (Dpc_apps.Tree_height.run ~scale:16 grid));
-    t "fig7/td-grid" (fun () ->
-        ignore (Dpc_apps.Tree_descendants.run ~scale:16 grid));
+        srun (sc ~app:"PageRank" ~scale:800 grid));
+    t "fig7/gc-grid" (fun () -> srun (sc ~app:"GC" ~scale:9 grid));
+    t "fig7/bfs-rec-grid" (fun () -> srun (sc ~app:"BFS-Rec" ~scale:9 grid));
+    t "fig7/th-grid" (fun () -> srun (sc ~app:"TH" ~scale:16 grid));
+    t "fig7/td-grid" (fun () -> srun (sc ~app:"TD" ~scale:16 grid));
     (* Interpreter back ends head to head: identical simulations through
        the compiled closure fast path vs the reference AST walker (the
-       tentpole speedup; suite-level numbers live in BENCH_pr3.json). *)
+       PR-3 tentpole speedup; suite-level numbers live in BENCH_pr3.json).
+       The back end is part of the scenario, not ambient state. *)
     t "interp/sssp-basic-compiled" (fun () ->
-        with_interp Dpc_sim.Interp.Compiled (fun () ->
-            ignore (Dpc_apps.Sssp.run ~scale:800 H.Basic)));
+        srun
+          (sc ~app:"SSSP" ~interp:Dpc_sim.Interp.Compiled ~scale:800 H.Basic));
     t "interp/sssp-basic-walker" (fun () ->
-        with_interp Dpc_sim.Interp.Reference (fun () ->
-            ignore (Dpc_apps.Sssp.run ~scale:800 H.Basic)));
+        srun
+          (sc ~app:"SSSP" ~interp:Dpc_sim.Interp.Reference ~scale:800 H.Basic));
     t "interp/td-grid-compiled" (fun () ->
-        with_interp Dpc_sim.Interp.Compiled (fun () ->
-            ignore (Dpc_apps.Tree_descendants.run ~scale:16 grid)));
+        srun (sc ~app:"TD" ~interp:Dpc_sim.Interp.Compiled ~scale:16 grid));
     t "interp/td-grid-walker" (fun () ->
-        with_interp Dpc_sim.Interp.Reference (fun () ->
-            ignore (Dpc_apps.Tree_descendants.run ~scale:16 grid)));
+        srun (sc ~app:"TD" ~interp:Dpc_sim.Interp.Reference ~scale:16 grid));
   ]
 
 let run_bechamel ?(quota = 0.4) () =
@@ -133,14 +135,20 @@ let run_bechamel ?(quota = 0.4) () =
 
 (* --- 2. ablation tables ---------------------------------------------------- *)
 
-(* The ablation sweeps are rows of fully independent simulations; each
-   table fans its rows out over [pool] and appends them in submission
-   order, so the printed tables match the serial run byte for byte. *)
+(* The ablation sweeps are rows of fully independent simulations,
+   expressed as scenario lists and fanned out over the shared session's
+   pool; [run_all] preserves submission order, so the printed tables
+   match the serial run byte for byte.  Device knobs (launch latency,
+   pool capacity, scheduler) are part of the scenario, not hand-threaded
+   config records. *)
 module Pool = Dpc_util.Pool
+
+let reports session scs =
+  List.map Session.report (Session.run_all session scs)
 
 (* A1: how sensitive is each variant to the device-side launch latency?
    basic-dp should track it linearly; grid-level should barely notice. *)
-let ablation_launch_latency pool =
+let ablation_launch_latency session =
   let t =
     Table.create
       ~title:
@@ -149,71 +157,51 @@ let ablation_launch_latency pool =
       ~headers:[ "latency (cycles)"; "basic-dp"; "grid-level"; "ratio" ]
       ~aligns:Table.[ Left; Right; Right; Right ] ()
   in
-  Pool.parallel_map pool
-    (fun lat ->
-      let cfg = { Cfg.k20c with Cfg.device_launch_latency = lat } in
-      let b = Dpc_apps.Sssp.run ~cfg ~scale:1500 H.Basic in
-      let g = Dpc_apps.Sssp.run ~cfg ~scale:1500 grid in
-      [ string_of_int lat;
-        Printf.sprintf "%.0f" b.M.cycles;
-        Printf.sprintf "%.0f" g.M.cycles;
-        Table.fmt_ratio (b.M.cycles /. g.M.cycles) ])
-    [ 1_000; 5_000; 20_000 ]
-  |> List.iter (Table.add_row t);
+  let lats = [ 1_000; 5_000; 20_000 ] in
+  let rs =
+    reports session
+      (List.concat_map
+         (fun lat ->
+           let cfg_overrides = [ ("device_launch_latency", lat) ] in
+           [ Scenario.make ~app:"SSSP" ~cfg_overrides ~scale:1500 H.Basic;
+             Scenario.make ~app:"SSSP" ~cfg_overrides ~scale:1500 grid ])
+         lats)
+  in
+  let rec rows lats rs =
+    match (lats, rs) with
+    | [], [] -> ()
+    | lat :: lats, (b : M.report) :: g :: rs ->
+      Table.add_row t
+        [ string_of_int lat;
+          Printf.sprintf "%.0f" b.M.cycles;
+          Printf.sprintf "%.0f" g.M.cycles;
+          Table.fmt_ratio (b.M.cycles /. g.M.cycles) ];
+      rows lats rs
+    | _ -> assert false
+  in
+  rows lats rs;
   Table.print t
 
-(* A2: processor-sharing vs FCFS SMX scheduling. *)
-let ablation_scheduler pool =
+(* A2: processor-sharing vs FCFS SMX scheduling — the scheduler is a
+   scenario field, so this is four declarative runs. *)
+let ablation_scheduler session =
   let t =
     Table.create
       ~title:"Ablation A2: SMX scheduler model, SSSP cycles"
       ~headers:[ "variant"; "processor sharing"; "fcfs (no contention)" ]
       ~aligns:Table.[ Left; Right; Right ] ()
   in
-  let prog gran = Dpc_minicu.Parser.parse_program (Dpc_apps.Sssp.dp_source gran) in
-  let run sched variant =
-    (* Re-run SSSP by hand to select the scheduler. *)
-    let g = Dpc_graph.Gen.citeseer_like ~n:1500 ~seed:7 in
-    let entry, program =
-      match variant with
-      | `Basic -> ("sssp_parent", prog Pragma.Grid)
-      | `Grid ->
-        let r =
-          Dpc.Transform.apply ~cfg:Cfg.k20c ~parent:"sssp_parent"
-            (prog Pragma.Grid)
-        in
-        (r.Dpc.Transform.entry, r.Dpc.Transform.program)
-    in
-    let dev = Device.create ~cfg:Cfg.k20c ~scheduler:sched program in
-    let rp = Device.of_int_array dev ~name:"rp" g.Dpc_graph.Csr.row_ptr in
-    let col = Device.of_int_array dev ~name:"col" g.Dpc_graph.Csr.col in
-    let w = Device.of_int_array dev ~name:"w" g.Dpc_graph.Csr.weights in
-    let d0 = Array.make g.Dpc_graph.Csr.n 1_000_000_000 in
-    d0.(0) <- 0;
-    let dist = Device.of_int_array dev ~name:"dist" d0 in
-    let changed = Device.alloc_int dev ~name:"ch" 1 in
-    let continue = ref true in
-    while !continue do
-      Device.launch dev entry
-        ~grid:((g.Dpc_graph.Csr.n + 127) / 128)
-        ~block:128
-        [ V.Vbuf rp.Mem.id; V.Vbuf col.Mem.id; V.Vbuf w.Mem.id;
-          V.Vbuf dist.Mem.id; V.Vbuf changed.Mem.id;
-          V.Vint g.Dpc_graph.Csr.n; V.Vint 8 ];
-      let c = (Device.read_int_array dev changed.Mem.id).(0) in
-      Mem.write_int (Device.buf dev changed.Mem.id) 0 0;
-      continue := c <> 0
-    done;
-    (Device.report dev).M.cycles
-  in
-  (* Four independent (variant x scheduler) simulations. *)
   let cells =
-    Pool.parallel_map pool
-      (fun (variant, sched) -> Printf.sprintf "%.0f" (run sched variant))
-      (List.concat_map
-         (fun v ->
-           [ (v, Dpc_sim.Timing.Processor_sharing); (v, Dpc_sim.Timing.Fcfs) ])
-         [ `Basic; `Grid ])
+    List.map
+      (fun (r : M.report) -> Printf.sprintf "%.0f" r.M.cycles)
+      (reports session
+         (List.concat_map
+            (fun v ->
+              List.map
+                (fun scheduler ->
+                  Scenario.make ~app:"SSSP" ~scale:1500 ~scheduler v)
+                [ Dpc_sim.Timing.Processor_sharing; Dpc_sim.Timing.Fcfs ])
+            [ H.Basic; grid ]))
   in
   (match cells with
   | [ b_ps; b_fcfs; g_ps; g_fcfs ] ->
@@ -224,7 +212,7 @@ let ablation_scheduler pool =
 
 (* A3: pending-pool capacity sweep — the cudaDeviceSetLimit analogue the
    paper mentions in Section III.B. *)
-let ablation_pool_capacity pool =
+let ablation_pool_capacity session =
   let t =
     Table.create
       ~title:
@@ -234,16 +222,22 @@ let ablation_pool_capacity pool =
         [ "pool entries"; "cycles"; "virtualized launches"; "max pending" ]
       ~aligns:Table.[ Left; Right; Right; Right ] ()
   in
-  Pool.parallel_map pool
-    (fun cap ->
-      let cfg = { Cfg.k20c with Cfg.fixed_pool_capacity = cap } in
-      let r = Dpc_apps.Sssp.run ~cfg ~scale:3000 H.Basic in
-      [ string_of_int cap;
-        Printf.sprintf "%.0f" r.M.cycles;
-        string_of_int r.M.virtualized_launches;
-        string_of_int r.M.max_pending ])
-    [ 256; 2048; 16384 ]
-  |> List.iter (Table.add_row t);
+  let caps = [ 256; 2048; 16384 ] in
+  List.iter2
+    (fun cap (r : M.report) ->
+      Table.add_row t
+        [ string_of_int cap;
+          Printf.sprintf "%.0f" r.M.cycles;
+          string_of_int r.M.virtualized_launches;
+          string_of_int r.M.max_pending ])
+    caps
+    (reports session
+       (List.map
+          (fun cap ->
+            Scenario.make ~app:"SSSP"
+              ~cfg_overrides:[ ("fixed_pool_capacity", cap) ]
+              ~scale:3000 H.Basic)
+          caps));
   Table.print t
 
 (* A4: consolidation-buffer sizing.  Small explicit perBufferSize values
@@ -314,24 +308,37 @@ __global__ void parent(int* row_ptr, int* data, int n, int threshold) {
   Table.print t
 
 (* A5: the basic-dp slowdown grows with problem scale (why the paper's
-   full-size runs show 2-3 orders of magnitude). *)
-let ablation_scale_growth pool =
+   full-size runs show 2-3 orders of magnitude).  All eight runs share
+   one program build through the session cache: only scale varies. *)
+let ablation_scale_growth session =
   let t =
     Table.create
       ~title:"Ablation A5: basic-dp slowdown vs no-dp as SSSP scale grows"
       ~headers:[ "nodes"; "basic-dp cycles"; "no-dp cycles"; "slowdown" ]
       ~aligns:Table.[ Left; Right; Right; Right ] ()
   in
-  Pool.parallel_map pool
-    (fun n ->
-      let b = Dpc_apps.Sssp.run ~scale:n H.Basic in
-      let f = Dpc_apps.Sssp.run ~scale:n H.Flat in
-      [ string_of_int n;
-        Printf.sprintf "%.0f" b.M.cycles;
-        Printf.sprintf "%.0f" f.M.cycles;
-        Table.fmt_ratio (b.M.cycles /. f.M.cycles) ])
-    [ 1000; 2000; 4000; 8000 ]
-  |> List.iter (Table.add_row t);
+  let scales = [ 1000; 2000; 4000; 8000 ] in
+  let rs =
+    reports session
+      (List.concat_map
+         (fun n ->
+           [ Scenario.make ~app:"SSSP" ~scale:n H.Basic;
+             Scenario.make ~app:"SSSP" ~scale:n H.Flat ])
+         scales)
+  in
+  let rec rows scales rs =
+    match (scales, rs) with
+    | [], [] -> ()
+    | n :: scales, (b : M.report) :: f :: rs ->
+      Table.add_row t
+        [ string_of_int n;
+          Printf.sprintf "%.0f" b.M.cycles;
+          Printf.sprintf "%.0f" f.M.cycles;
+          Table.fmt_ratio (b.M.cycles /. f.M.cycles) ];
+      rows scales rs
+    | _ -> assert false
+  in
+  rows scales rs;
   Table.print t
 
 (* A6: the Free Launch (MICRO'15) thread-reuse baseline vs consolidation
@@ -402,24 +409,118 @@ __global__ void parent(int* row_ptr, int* data, int n, int threshold) {
     cons.Dpc.Transform.entry;
   Table.print t
 
+(* --- 3. the compiled-kernel cache sweep (BENCH_pr5.json) ------------------ *)
+
+(* A sweep in the engine's sweet spot: many short runs of few distinct
+   (program x device-config x policy) families, differing only in scale
+   and seed — the shape of a parameter search like fig6's exhaustive
+   sweep.  A caching session builds each family's program once (and
+   compiles each kernel to a closure once per domain); the cacheless
+   session re-runs the parse/transform/finalize/compile pipeline for
+   every run — the pre-engine behaviour.  Long simulations amortize
+   their one-off build to noise; short ones pay it on every run, which
+   is exactly what this benchmark exposes. *)
+let cache_sweep_scenarios =
+  let seeds = List.init 15 (fun i -> i + 1) in
+  List.concat_map
+    (fun scale ->
+      List.map (fun seed -> Scenario.make ~app:"GC" ~scale ~seed grid) seeds)
+    [ 2; 3 ]
+  @ List.concat_map
+      (fun scale ->
+        List.map
+          (fun seed ->
+            Scenario.make ~app:"SpMV" ~scale ~seed (H.Cons Pragma.Block))
+          seeds)
+      [ 20; 30 ]
+  @ List.map
+      (fun seed -> Scenario.make ~app:"SpMV" ~scale:20 ~seed warp)
+      seeds
+
+let bench_cache_sweep ~out () =
+  let scs = cache_sweep_scenarios in
+  let reps = 5 in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  (* Serial sessions on both sides: the comparison isolates cache reuse,
+     not domain parallelism.  Best-of-[reps] damps scheduler noise. *)
+  let exec ~cache =
+    let best = ref infinity and cycles = ref [] and stats = ref None in
+    for _ = 1 to reps do
+      let s = Session.create ~jobs:1 ~cache () in
+      let outs, dt = wall (fun () -> Session.run_all s scs) in
+      cycles :=
+        List.map (fun o -> (Session.report o).M.cycles) outs;
+      stats := Some (Session.cache_stats s);
+      if dt < !best then best := dt
+    done;
+    (!best, !cycles, Option.get !stats)
+  in
+  let uncached_s, uncached_cycles, _ = exec ~cache:false in
+  let cached_s, cached_cycles, stats = exec ~cache:true in
+  if uncached_cycles <> cached_cycles then
+    failwith "cache sweep: cached metrics diverged from uncached metrics";
+  let speedup = uncached_s /. cached_s in
+  Printf.printf
+    "=== compiled-kernel cache sweep (%d runs, best of %d) ===\n\
+    \  uncached %.3f s   cached %.3f s   speedup %.2fx   (%d hits, %d \
+     misses; metrics byte-identical)\n\n"
+    (List.length scs) reps uncached_s cached_s speedup
+    stats.Dpc_engine.Kcache.hits stats.Dpc_engine.Kcache.misses;
+  let j =
+    Json.Obj
+      [
+        ("schema", Json.String "dpc-cache-bench-v1");
+        ("source", Json.String "bench/main.exe");
+        ("runs", Json.Int (List.length scs));
+        ("reps", Json.Int reps);
+        ( "sweep",
+          Json.List
+            (List.map (fun sc -> Json.String (Scenario.key sc)) scs) );
+        ("uncached_wall_s", Json.Float uncached_s);
+        ("cached_wall_s", Json.Float cached_s);
+        ("speedup", Json.Float speedup);
+        ( "cache",
+          Json.Obj
+            [
+              ("hits", Json.Int stats.Dpc_engine.Kcache.hits);
+              ("misses", Json.Int stats.Dpc_engine.Kcache.misses);
+            ] );
+        ("identical_metrics", Json.Bool true);
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string_pretty j));
+  Printf.printf "bench: cache sweep -> %s\n" out
+
 let () =
   (* --smoke: the reduced CI run — bechamel rows at a small quota, no
-     ablation sweeps.  Default: full microbenchmarks + ablations. *)
+     ablation sweeps.  --cache-sweep: only the compiled-kernel cache
+     sweep.  Default: full microbenchmarks + ablations + cache sweep. *)
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
+  let cache_only = Array.exists (( = ) "--cache-sweep") Sys.argv in
   if smoke then begin
     run_bechamel ~quota:0.05 ();
     print_endline "bench: smoke done"
   end
+  else if cache_only then bench_cache_sweep ~out:"BENCH_pr5.json" ()
   else begin
     (* Microbenchmarks stay serial (they measure wall time); the ablation
-       sweeps fan out over domains. *)
+       sweeps fan out over the shared session's domains. *)
     run_bechamel ();
+    let session = Session.create ~jobs:(Pool.default_jobs ()) () in
     let pool = Pool.create ~jobs:(Pool.default_jobs ()) in
-    ablation_launch_latency pool;
-    ablation_scheduler pool;
-    ablation_pool_capacity pool;
+    ablation_launch_latency session;
+    ablation_scheduler session;
+    ablation_pool_capacity session;
     ablation_buffer_sizing pool;
-    ablation_scale_growth pool;
+    ablation_scale_growth session;
     ablation_free_launch ();
+    bench_cache_sweep ~out:"BENCH_pr5.json" ();
     print_endline "bench: done (see bin/experiments.exe for the paper figures)"
   end

@@ -33,39 +33,25 @@ let read_file path =
 
 (* --- profiling mode ------------------------------------------------------ *)
 
-let parse_variant s =
-  match String.lowercase_ascii s with
-  | "basic" | "basic-dp" -> Dpc_apps.Harness.Basic
-  | "flat" | "no-dp" -> Dpc_apps.Harness.Flat
-  | "warp" | "warp-level" -> Dpc_apps.Harness.Cons Dpc_kir.Pragma.Warp
-  | "block" | "block-level" -> Dpc_apps.Harness.Cons Dpc_kir.Pragma.Block
-  | "grid" | "grid-level" -> Dpc_apps.Harness.Cons Dpc_kir.Pragma.Grid
-  | other ->
-    failwith
-      (Printf.sprintf
-         "bad variant %S (expected basic-dp, no-dp, warp-level, \
-          block-level, or grid-level)"
-         other)
-
-(* Run one registered benchmark app on the simulated device, print its
-   report and per-kernel profile, and optionally export the Chrome
+(* Run one scenario on the simulated device through the engine, print
+   its report and per-kernel profile, and optionally export the Chrome
    trace.  This is the simulator-side counterpart of the compile path:
    the paper's evaluation workflow (nvprof over a benchmark binary)
    compressed into one command. *)
-let run_profiled ~app ~variant ~scale ~profile_out =
-  let entry = Dpc_apps.Registry.find app in
-  let variant = parse_variant variant in
+let run_profiled ~scenario ~profile_out =
   let events = ref [||] in
   let num_smx = ref 0 in
-  let inspect dev =
+  let inspect _scenario dev =
     events := Dpc_sim.Device.profile dev;
     num_smx := (Dpc_sim.Device.config dev).Dpc_gpu.Config.num_smx
   in
-  let report = entry.Dpc_apps.Registry.run ?scale ~inspect variant in
+  let session = Dpc_engine.Session.create ~inspect () in
+  let report = Dpc_engine.Session.run session scenario in
   Dpc_sim.Metrics.print
     ~title:
-      (Printf.sprintf "%s / %s" entry.Dpc_apps.Registry.name
-         (Dpc_apps.Harness.variant_to_string variant))
+      (Printf.sprintf "%s / %s" scenario.Dpc_engine.Scenario.app
+         (Dpc_apps.Harness.variant_to_string
+            scenario.Dpc_engine.Scenario.variant))
     report;
   print_newline ();
   Dpc_util.Table.print
@@ -194,8 +180,8 @@ let run_mutants () =
     (List.length outcomes);
   if !failures = 0 then 0 else 1
 
-let run input parent policy output help_pragma app variant scale profile_out
-    check strict check_json mutants =
+let run input parent policy output help_pragma app variant scale scenario
+    profile_out check strict check_json mutants =
   if help_pragma then begin
     print_string pragma_help;
     0
@@ -224,24 +210,45 @@ let run input parent policy output help_pragma app variant scale profile_out
         1)
   end
   else
-    match (app, input) with
-    | Some app, _ -> (
-      try run_profiled ~app ~variant ~scale ~profile_out with
+    match (scenario, app, input) with
+    | Some _, Some _, _ ->
+      prerr_endline "dpcc: --scenario and --app are mutually exclusive";
+      2
+    | Some s, None, _ -> (
+      (* Full scenario profiling: everything (variant, scale, seed,
+         device config, policy, ...) comes from the scenario string. *)
+      try
+        run_profiled ~scenario:(Dpc_engine.Scenario.of_string s) ~profile_out
+      with
       | Failure msg | Invalid_argument msg ->
         Printf.eprintf "dpcc: %s\n" msg;
         1
       | Dpc_apps.Harness.Verification_failed msg ->
         Printf.eprintf "dpcc: verification failed: %s\n" msg;
         1)
-    | None, _ when profile_out <> None ->
+    | None, Some app, _ -> (
+      try
+        let scenario =
+          Dpc_engine.Scenario.make ~app ?scale
+            (Dpc_apps.Harness.variant_of_string variant)
+        in
+        run_profiled ~scenario ~profile_out
+      with
+      | Failure msg | Invalid_argument msg ->
+        Printf.eprintf "dpcc: %s\n" msg;
+        1
+      | Dpc_apps.Harness.Verification_failed msg ->
+        Printf.eprintf "dpcc: verification failed: %s\n" msg;
+        1)
+    | None, None, _ when profile_out <> None ->
       prerr_endline
-        "dpcc: --profile needs --app (profiling runs a registered \
-         benchmark on the simulated device)";
+        "dpcc: --profile needs --app or --scenario (profiling runs a \
+         registered benchmark on the simulated device)";
       2
-    | None, None ->
+    | None, None, None ->
       prerr_endline "dpcc: missing input file (see --help)";
       2
-    | None, Some path -> (
+    | None, None, Some path -> (
       try
         let src = read_file path in
         let prog = Dpc_minicu.Parser.parse_program src in
@@ -268,34 +275,7 @@ let run input parent policy output help_pragma app variant scale profile_out
                    (String.concat ", "
                       (List.map (fun k -> k.Dpc_kir.Kernel.kname) ks))))
         in
-        let policy =
-          Option.map
-            (fun s ->
-              match String.lowercase_ascii s with
-              | "kc1" | "kc_1" -> Dpc.Config_select.Kc 1
-              | "kc16" | "kc_16" -> Dpc.Config_select.Kc 16
-              | "kc32" | "kc_32" -> Dpc.Config_select.Kc 32
-              | "1-1" | "one-to-one" -> Dpc.Config_select.One_to_one
-              | other -> (
-                let bad () =
-                  failwith
-                    (Printf.sprintf
-                       "bad policy %S (expected kc1, kc16, kc32, 1-1, or BxT)"
-                       other)
-                in
-                match String.index_opt other 'x' with
-                | Some i -> (
-                  match
-                    ( int_of_string_opt (String.sub other 0 i),
-                      int_of_string_opt
-                        (String.sub other (i + 1) (String.length other - i - 1))
-                    )
-                  with
-                  | Some b, Some t -> Dpc.Config_select.Explicit (b, t)
-                  | _ -> bad ())
-                | None -> bad ()))
-            policy
-        in
+        let policy = Option.map Dpc.Config_select.policy_of_string policy in
         let r =
           Dpc.Transform.apply ?policy ~cfg:Dpc_gpu.Config.k20c ~parent prog
         in
@@ -328,7 +308,7 @@ let run input parent policy output help_pragma app variant scale profile_out
       | Dpc.Transform.Unsupported msg ->
         Printf.eprintf "dpcc: %s: unsupported: %s\n" path msg;
         1
-      | Failure msg ->
+      | Failure msg | Invalid_argument msg ->
         Printf.eprintf "dpcc: %s\n" msg;
         1)
 
@@ -370,11 +350,18 @@ let scale_arg =
        ~doc:"Problem-size override in profiling mode (interpreted per \
              app, as in bin/experiments).")
 
+let scenario_arg =
+  Arg.(value & opt (some string) None & info [ "scenario" ] ~docv:"KEY=V,..."
+       ~doc:"Profiling mode from a first-class scenario string (as in \
+             $(b,experiments --scenario)): e.g. \
+             $(b,app=SSSP,variant=grid-level,scale=700,cfg.num_smx=26).  \
+             Mutually exclusive with --app.")
+
 let profile_arg =
   Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
        ~doc:"Write a Chrome trace-event JSON of the profiled run to \
              $(docv) (open in Perfetto or chrome://tracing).  Requires \
-             --app.")
+             --app or --scenario.")
 
 let check_arg =
   Arg.(value & flag & info [ "check" ]
@@ -404,7 +391,7 @@ let cmd =
     (Cmd.info "dpcc" ~doc)
     Term.(
       const run $ input $ parent $ policy $ output $ help_pragma
-      $ app_arg $ variant_arg $ scale_arg $ profile_arg
+      $ app_arg $ variant_arg $ scale_arg $ scenario_arg $ profile_arg
       $ check_arg $ strict_arg $ check_json_arg $ mutants_arg)
 
 let () = exit (Cmd.eval' cmd)

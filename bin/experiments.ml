@@ -8,19 +8,31 @@
      experiments summary         Section V.C average speedups
      experiments all             everything above
 
+   Scenario mode (bypasses the figures):
+     --scenario KEY=V,...   run one first-class scenario (repeatable);
+                            e.g. --scenario app=SSSP,variant=grid-level,scale=700
+     --sweep FILE.json      run every scenario of a JSON sweep file
+     --no-cache             disable cross-run program reuse
+
    Machine-readable output:
-     --json FILE   write the suite metrics snapshot (per app x variant
-                   reports plus the rendered tables; see EXPERIMENTS.md)
+     --json FILE   figures: the suite metrics snapshot (per app x variant
+                   reports plus the rendered tables; see EXPERIMENTS.md);
+                   scenario mode: the dpc-sweep-v1 outcome list
      --trace DIR   write a Chrome trace-event file and a per-kernel
                    profile for every suite run into DIR
 
-   Every simulation in a sweep is independent, so the runner fans them
-   out over OCaml domains (--jobs N; --jobs 1 is the serial path).  The
+   All execution goes through one Dpc_engine.Session: independent
+   simulations fan out over OCaml domains (--jobs N; --jobs 1 is the
+   serial path) and runs differing only in scale/seed/allocator share
+   one program build through the session's compiled-kernel cache.  The
    printed tables — and the JSON and trace files — are byte-identical
-   regardless of the job count. *)
+   regardless of the job count and of the cache setting. *)
 
 open Cmdliner
 module E = Dpc_experiments
+module Scenario = Dpc_engine.Scenario
+module Session = Dpc_engine.Session
+module M = Dpc_sim.Metrics
 
 let suite_tables suite =
   [
@@ -47,7 +59,67 @@ let needs_suite = function
   | "fig7" | "fig8" | "fig9" | "fig10" | "summary" | "all" -> true
   | _ -> false
 
-let run figures quiet scale jobs json_out trace_dir interp =
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* --- scenario mode -------------------------------------------------------- *)
+
+(* Run an explicit scenario list (from --scenario flags and/or a --sweep
+   file), print one table row per outcome, and optionally export the
+   dpc-sweep-v1 snapshot.  Exit 1 if any scenario failed. *)
+let run_scenarios session ~verbose ~json_out scenario_args sweep_file =
+  let parsed = List.map Scenario.of_string scenario_args in
+  let from_file =
+    match sweep_file with
+    | None -> []
+    | Some path -> Scenario.sweep_of_json (Dpc_prof.Json.parse (read_file path))
+  in
+  let scs = parsed @ from_file in
+  if scs = [] then begin
+    prerr_endline "experiments: empty sweep (no scenarios given)";
+    exit 2
+  end;
+  let outcomes = Session.run_all session scs in
+  let t =
+    Dpc_util.Table.create ~title:"Scenario sweep"
+      ~headers:[ "scenario"; "cycles"; "device launches"; "warp eff" ]
+      ~aligns:
+        Dpc_util.Table.[ Left; Right; Right; Right ]
+      ()
+  in
+  List.iter
+    (fun (o : Session.outcome) ->
+      let key = Scenario.key o.Session.scenario in
+      match o.Session.result with
+      | Ok r ->
+        Dpc_util.Table.add_row t
+          [ key;
+            Printf.sprintf "%.0f" r.M.cycles;
+            string_of_int r.M.device_launches;
+            Dpc_util.Table.fmt_pct r.M.warp_efficiency ]
+      | Error e ->
+        Dpc_util.Table.add_row t
+          [ key; "failed: " ^ Printexc.to_string e; "-"; "-" ])
+    outcomes;
+  Dpc_util.Table.print t;
+  (match json_out with
+  | Some path ->
+    E.Export.write_file path (E.Export.sweep_json outcomes);
+    if verbose then Printf.eprintf "[sweep] outcome snapshot -> %s\n%!" path
+  | None -> ());
+  if verbose then begin
+    let s = Session.cache_stats session in
+    Printf.eprintf "[sweep] program cache: %d hits, %d misses\n%!"
+      s.Dpc_engine.Kcache.hits s.Dpc_engine.Kcache.misses
+  end;
+  if List.exists (fun o -> Result.is_error o.Session.result) outcomes then 1
+  else 0
+
+let run figures quiet scale jobs json_out trace_dir interp scenario_args
+    sweep_file no_cache =
   let verbose = not quiet in
   (match interp with
   | Some m -> Dpc_sim.Interp.set_default_mode m
@@ -56,56 +128,75 @@ let run figures quiet scale jobs json_out trace_dir interp =
     Printf.eprintf "--jobs must be >= 1 (got %d)\n" jobs;
     exit 2
   end;
-  let figures = if figures = [] then [ "all" ] else figures in
-  (* The JSON snapshot and the trace files read the same shared run
-     collection as figs 7-10, so asking for either forces it. *)
-  let suite =
-    if
-      List.exists needs_suite figures
-      || json_out <> None || trace_dir <> None
-    then
-      Some (E.Suite.collect ~verbose ?scale ~jobs ?trace_dir ())
-    else None
+  (* One session for everything this invocation runs: figures and
+     scenario sweeps share its pool and compiled-kernel cache. *)
+  let session =
+    Session.create ~jobs ~verbose ~cache:(not no_cache) ()
   in
-  let get_suite () = Option.get suite in
-  List.iter
-    (fun f ->
-      match String.lowercase_ascii f with
-      | "fig5" -> E.Fig5_allocators.print ~verbose ?scale ~jobs ()
-      | "fig6" -> E.Fig6_config.print ~verbose ?scale ~jobs ()
-      | "fig7" -> print_suite_figs (get_suite ()) `Fig7
-      | "fig8" -> print_suite_figs (get_suite ()) `Fig8
-      | "fig9" -> print_suite_figs (get_suite ()) `Fig9
-      | "fig10" -> print_suite_figs (get_suite ()) `Fig10
-      | "summary" -> print_suite_figs (get_suite ()) `Summary
-      | "all" ->
-        let s = get_suite () in
-        print_suite_figs s `Fig7;
-        print_suite_figs s `Fig8;
-        print_suite_figs s `Fig9;
-        print_suite_figs s `Fig10;
-        print_suite_figs s `Summary;
-        E.Fig5_allocators.print ~verbose ?scale ~jobs ();
-        print_newline ();
-        E.Fig6_config.print ~verbose ?scale ~jobs ()
-      | other ->
-        Printf.eprintf
-          "unknown figure %S (fig5 fig6 fig7 fig8 fig9 fig10 summary all)\n"
-          other;
-        exit 2)
-    figures;
-  (match json_out with
-  | Some path ->
-    let s = get_suite () in
-    E.Export.write_file path
-      (E.Export.suite_json ?scale s ~tables:(suite_tables s));
-    if verbose then Printf.eprintf "[suite] metrics snapshot -> %s\n%!" path
-  | None -> ());
-  (match trace_dir with
-  | Some dir when verbose ->
-    Printf.eprintf "[suite] per-run traces and profiles -> %s/\n%!" dir
-  | _ -> ());
-  0
+  if scenario_args <> [] || sweep_file <> None then (
+    try run_scenarios session ~verbose ~json_out scenario_args sweep_file
+    with Invalid_argument msg | Failure msg ->
+      Printf.eprintf "experiments: %s\n" msg;
+      2)
+  else begin
+    let figures = if figures = [] then [ "all" ] else figures in
+    (* The JSON snapshot and the trace files read the same shared run
+       collection as figs 7-10, so asking for either forces it.  A trace
+       capture needs its own session (the artifact hook is fixed at
+       session creation), so only the untraced path reuses the shared
+       one. *)
+    let suite =
+      if
+        List.exists needs_suite figures
+        || json_out <> None || trace_dir <> None
+      then
+        Some
+          (E.Suite.collect ~verbose ?scale ~jobs ?trace_dir
+             ?session:(if trace_dir = None then Some session else None)
+             ())
+      else None
+    in
+    let get_suite () = Option.get suite in
+    List.iter
+      (fun f ->
+        match String.lowercase_ascii f with
+        | "fig5" -> E.Fig5_allocators.print ~verbose ?scale ~session ()
+        | "fig6" -> E.Fig6_config.print ~verbose ?scale ~session ()
+        | "fig7" -> print_suite_figs (get_suite ()) `Fig7
+        | "fig8" -> print_suite_figs (get_suite ()) `Fig8
+        | "fig9" -> print_suite_figs (get_suite ()) `Fig9
+        | "fig10" -> print_suite_figs (get_suite ()) `Fig10
+        | "summary" -> print_suite_figs (get_suite ()) `Summary
+        | "all" ->
+          let s = get_suite () in
+          print_suite_figs s `Fig7;
+          print_suite_figs s `Fig8;
+          print_suite_figs s `Fig9;
+          print_suite_figs s `Fig10;
+          print_suite_figs s `Summary;
+          E.Fig5_allocators.print ~verbose ?scale ~session ();
+          print_newline ();
+          E.Fig6_config.print ~verbose ?scale ~session ()
+        | other ->
+          Printf.eprintf
+            "unknown figure %S (fig5 fig6 fig7 fig8 fig9 fig10 summary all)\n"
+            other;
+          exit 2)
+      figures;
+    (match json_out with
+    | Some path ->
+      let s = get_suite () in
+      E.Export.write_file path
+        (E.Export.suite_json ?scale s ~tables:(suite_tables s));
+      if verbose then
+        Printf.eprintf "[suite] metrics snapshot -> %s\n%!" path
+    | None -> ());
+    (match trace_dir with
+    | Some dir when verbose ->
+      Printf.eprintf "[suite] per-run traces and profiles -> %s/\n%!" dir
+    | _ -> ());
+    0
+  end
 
 let figures =
   Arg.(value & pos_all string [] & info [] ~docv:"FIGURE"
@@ -129,8 +220,9 @@ let jobs =
 
 let json_out =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
-       ~doc:"Write the suite metrics snapshot (per app x variant reports \
-             plus the rendered figure tables) as JSON to $(docv).")
+       ~doc:"Write the metrics snapshot as JSON to $(docv): the suite \
+             snapshot for figures, the dpc-sweep-v1 outcome list in \
+             scenario mode.")
 
 let trace_dir =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"DIR"
@@ -149,11 +241,30 @@ let interp =
              default) or $(b,ref) (reference AST walker).  Both emit \
              byte-identical metrics; overrides $(b,DPC_INTERP).")
 
+let scenario_args =
+  Arg.(value & opt_all string [] & info [ "scenario" ] ~docv:"KEY=V,..."
+       ~doc:"Run one first-class scenario instead of a figure \
+             (repeatable).  Keys: app, variant, policy, alloc, cfg, \
+             cfg.FIELD, scale, seed, sched, interp, x.KEY; e.g. \
+             $(b,app=SSSP,variant=grid-level,scale=700).")
+
+let sweep_file =
+  Arg.(value & opt (some file) None & info [ "sweep" ] ~docv:"FILE"
+       ~doc:"Run every scenario of a JSON sweep file: a list (or a \
+             {\"scenarios\": [...]} object) of scenario objects or \
+             canonical scenario strings.")
+
+let no_cache =
+  Arg.(value & flag & info [ "no-cache" ]
+       ~doc:"Disable the session's cross-run compiled-kernel cache: \
+             every run parses, transforms and finalizes its programs \
+             from scratch.  Results are identical either way.")
+
 let cmd =
   let doc = "regenerate the paper's evaluation tables and figures" in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(
       const run $ figures $ quiet $ scale $ jobs $ json_out $ trace_dir
-      $ interp)
+      $ interp $ scenario_args $ sweep_file $ no_cache)
 
 let () = exit (Cmd.eval' cmd)

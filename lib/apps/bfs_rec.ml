@@ -65,8 +65,13 @@ let programs ?cfg () =
 
 let default_scale = 12  (* 2^12 nodes *)
 
-let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
-    ?(seed = 23) ?inspect variant =
+let run_spec (s : spec) =
+  reject_unknown_extras ~app:name ~known:[] s;
+  let scale = Option.value s.sp_scale ~default:default_scale in
+  let seed = Option.value s.sp_seed ~default:23 in
+  let variant = s.sp_variant in
+  let cfg = s.sp_cfg in
+  let inspect = s.sp_inspect in
   let g = Gen.kron_like ~scale ~edge_factor:10 ~seed in
   let n = g.Csr.n in
   let src = 0 in
@@ -76,7 +81,7 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
   let threads = 128 in
   match variant with
   | Flat ->
-    let p = prepare_flat ~cfg ~source:flat_source ~entry:"bfs_flat" in
+    let p = prepare_flat_spec s ~source:flat_source ~entry:"bfs_flat" in
     let dev = p.dev in
     let row_ptr = Device.of_int_array dev ~name:"row_ptr" g.Csr.row_ptr in
     let col = Device.of_int_array dev ~name:"col" g.Csr.col in
@@ -97,7 +102,7 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
       (Device.read_int_array dev levels.Dpc_gpu.Memory.id);
     inspect_and_report ?inspect dev
   | Basic ->
-    let p = prepare ~cfg ~source:dp_source ~parent:"bfs_rec" Basic in
+    let p = prepare_spec s ~source:dp_source ~parent:"bfs_rec" in
     let dev = p.dev in
     let row_ptr = Device.of_int_array dev ~name:"row_ptr" g.Csr.row_ptr in
     let col = Device.of_int_array dev ~name:"col" g.Csr.col in
@@ -109,8 +114,8 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
     check_int_arrays ~what:"bfs levels" expect
       (Device.read_int_array dev levels.Dpc_gpu.Memory.id);
     inspect_and_report ?inspect dev
-  | Cons _ as v ->
-    let p = prepare ?policy ?alloc ~cfg ~source:dp_source ~parent:"bfs_rec" v in
+  | Cons _ ->
+    let p = prepare_spec s ~source:dp_source ~parent:"bfs_rec" in
     let dev = p.dev in
     let row_ptr = Device.of_int_array dev ~name:"row_ptr" g.Csr.row_ptr in
     let col = Device.of_int_array dev ~name:"col" g.Csr.col in
@@ -121,3 +126,6 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
     check_int_arrays ~what:"bfs levels" expect
       (Device.read_int_array dev levels.Dpc_gpu.Memory.id);
     inspect_and_report ?inspect dev
+
+let run ?policy ?alloc ?cfg ?scale ?seed ?inspect variant =
+  run_spec (spec ?policy ?alloc ?cfg ?scale ?seed ?inspect variant)

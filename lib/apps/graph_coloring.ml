@@ -110,8 +110,11 @@ let programs ?cfg () =
 
 let default_scale = 12  (* kron scale: 2^12 = 4096 nodes *)
 
-let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
-    ?(seed = 17) ?inspect variant =
+let run_spec (s : spec) =
+  reject_unknown_extras ~app:name ~known:[] s;
+  let scale = Option.value s.sp_scale ~default:default_scale in
+  let seed = Option.value s.sp_seed ~default:17 in
+  let variant = s.sp_variant in
   (* Coloring needs symmetric conflict visibility. *)
   let g = Csr.symmetrize (Gen.kron_like ~scale ~edge_factor:12 ~seed) in
   let n = g.Csr.n in
@@ -119,8 +122,8 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
   let prio = Array.init n (fun _ -> Dpc_util.Rng.int rng 1_000_000) in
   let p =
     match variant with
-    | Flat -> prepare_flat ~cfg ~source:flat_source ~entry:"gc_scan_flat"
-    | v -> prepare ?policy ?alloc ~cfg ~source:dp_source ~parent:"gc_scan" v
+    | Flat -> prepare_flat_spec s ~source:flat_source ~entry:"gc_scan_flat"
+    | _ -> prepare_spec s ~source:dp_source ~parent:"gc_scan"
   in
   let dev = p.dev in
   let row_ptr = Device.of_int_array dev ~name:"row_ptr" g.Csr.row_ptr in
@@ -152,4 +155,7 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
   let colors = Device.read_int_array dev color.Dpc_gpu.Memory.id in
   if not (Cpu.valid_coloring g colors) then
     fail "graph coloring: invalid coloring produced";
-  inspect_and_report ?inspect dev
+  inspect_and_report ?inspect:s.sp_inspect dev
+
+let run ?policy ?alloc ?cfg ?scale ?seed ?inspect variant =
+  run_spec (spec ?policy ?alloc ?cfg ?scale ?seed ?inspect variant)

@@ -28,6 +28,20 @@ let variant_to_string = function
   | Flat -> "no-dp"
   | Cons g -> Pragma.granularity_to_string g ^ "-level"
 
+let variant_of_string s =
+  match String.lowercase_ascii s with
+  | "basic" | "basic-dp" -> Basic
+  | "flat" | "no-dp" -> Flat
+  | "warp" | "warp-level" -> Cons Pragma.Warp
+  | "block" | "block-level" -> Cons Pragma.Block
+  | "grid" | "grid-level" -> Cons Pragma.Grid
+  | other ->
+    invalid_arg
+      (Printf.sprintf
+         "bad variant %S (expected basic-dp, no-dp, warp-level, \
+          block-level, or grid-level)"
+         other)
+
 let all_variants =
   [ Basic; Flat; Cons Pragma.Warp; Cons Pragma.Block; Cons Pragma.Grid ]
 
@@ -41,29 +55,172 @@ type prepared = {
   trans : Transform.result option;
 }
 
+(* --- cacheable program preparation --------------------------------------- *)
+
+(** The run-independent part of a prepared variant: the (finalized once,
+    then read-only) program plus the transform metadata.  This is what the
+    engine's cross-run cache stores — everything else in {!prepared}
+    (device, memory, allocator) is per-run state. *)
+type prep = {
+  p_prog : Dpc_kir.Kernel.Program.t;
+  p_entry : string;
+  p_trans : Transform.result option;
+}
+
+type ckernels = (string, Dpc_sim.Compile.ckernel option) Hashtbl.t
+
+(** Cache hook threaded through {!prepare}: given the variant's stable
+    [key] and a [build] thunk, return the (possibly memoized) {!prep} and
+    optionally a compiled-kernel table to seed the device's session with
+    (see {!Dpc_sim.Interp.create_session}).  The default, {!no_cache},
+    always builds fresh and seeds nothing. *)
+type preparer = key:string -> build:(unit -> prep) -> prep * ckernels option
+
+let no_cache : preparer = fun ~key:_ ~build -> (build (), None)
+
+(** Stable cache key of a program build: digest of everything the build
+    output depends on — variant tag, full source text (which already
+    encodes granularity and any dataset-derived launch constants), parent
+    kernel, configuration policy, and device config. *)
+let prep_key ~tag ~(cfg : Cfg.t) ~policy ~source ~parent =
+  let policy_str =
+    match policy with
+    | None -> "default"
+    | Some p -> Dpc.Config_select.policy_to_string p
+  in
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\x00"
+          [ tag; source; parent; policy_str; Marshal.to_string cfg [] ]))
+
+(* --- run specification ---------------------------------------------------- *)
+
+(** Everything an app run needs, as one first-class value (the engine's
+    {!Dpc_engine.Scenario} lowers to this).  [sp_scale] / [sp_seed] are
+    [None] for the app's documented default; app-specific knobs travel in
+    [sp_extras] as string pairs (each app validates its own). *)
+type spec = {
+  sp_variant : variant;
+  sp_policy : Dpc.Config_select.policy option;
+  sp_alloc : Alloc.kind;
+  sp_cfg : Cfg.t;
+  sp_scale : int option;
+  sp_seed : int option;
+  sp_scheduler : Dpc_sim.Timing.scheduler;
+  sp_interp : Dpc_sim.Interp.mode option;
+  sp_preparer : preparer;
+  sp_inspect : (Device.t -> unit) option;
+  sp_extras : (string * string) list;
+}
+
+let spec ?policy ?(alloc = Alloc.Pool) ?(cfg = Cfg.k20c) ?scale ?seed
+    ?(scheduler = Dpc_sim.Timing.Processor_sharing) ?interp
+    ?(preparer = no_cache) ?inspect ?(extras = []) variant =
+  {
+    sp_variant = variant;
+    sp_policy = policy;
+    sp_alloc = alloc;
+    sp_cfg = cfg;
+    sp_scale = scale;
+    sp_seed = seed;
+    sp_scheduler = scheduler;
+    sp_interp = interp;
+    sp_preparer = preparer;
+    sp_inspect = inspect;
+    sp_extras = extras;
+  }
+
+(** Lookup helpers for [sp_extras].  Apps reject keys they don't own up
+    front so a typo in a sweep file fails loudly instead of silently
+    running the default. *)
+let extra_str s key = List.assoc_opt key s.sp_extras
+
+let extra_int s key =
+  match List.assoc_opt key s.sp_extras with
+  | None -> None
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some i -> Some i
+    | None ->
+      invalid_arg
+        (Printf.sprintf "extra %s=%S: expected an integer" key v))
+
+let reject_unknown_extras ~app ~known s =
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem k known) then
+        invalid_arg
+          (Printf.sprintf "%s: unknown extra %S%s" app k
+             (match known with
+             | [] -> " (this app takes none)"
+             | ks -> Printf.sprintf " (known: %s)" (String.concat ", " ks))))
+    s.sp_extras
+
+(* Instantiate per-run state around a (possibly cached) prep: fresh device
+   with the spec's allocator, scheduler and interpreter mode, seeded with
+   the cache's per-domain compiled-kernel table when one is supplied. *)
+let instantiate (s : spec) ((prep : prep), (ck : ckernels option)) : prepared
+    =
+  {
+    dev =
+      Device.create ~cfg:s.sp_cfg ~alloc_kind:s.sp_alloc
+        ~scheduler:s.sp_scheduler ?mode:s.sp_interp ?ckernels:ck
+        prep.p_prog;
+    entry = prep.p_entry;
+    trans = prep.p_trans;
+  }
+
 (** Build a device for a DP source: [Basic] runs the annotated program as
     written (the pragma is inert at runtime); [Cons g] applies the
     consolidation compiler first.  [source] receives the granularity to
-    embed in the pragma text. *)
-let prepare ?policy ?(alloc = Alloc.Pool) ~cfg
-    ~(source : Pragma.granularity -> string) ~parent variant : prepared =
-  match variant with
+    embed in the pragma text.  Both branches honor the spec's allocator
+    (Basic kernels allocate from the device heap too when they launch with
+    [buffer(default)] semantics), scheduler, interpreter mode and cache
+    hook. *)
+let prepare_spec (s : spec) ~(source : Pragma.granularity -> string)
+    ~parent : prepared =
+  match s.sp_variant with
   | Flat -> invalid_arg "Harness.prepare: use prepare_flat for Flat"
   | Basic ->
-    let prog = Parser.parse_program (source Pragma.Grid) in
-    { dev = Device.create ~cfg prog; entry = parent; trans = None }
+    let src = source Pragma.Grid in
+    let key = prep_key ~tag:"basic" ~cfg:s.sp_cfg ~policy:None ~source:src
+        ~parent
+    in
+    let build () =
+      { p_prog = Parser.parse_program src; p_entry = parent; p_trans = None }
+    in
+    instantiate s (s.sp_preparer ~key ~build)
   | Cons g ->
-    let prog = Parser.parse_program (source g) in
-    let r = Transform.apply ?policy ~cfg ~parent prog in
-    {
-      dev = Device.create ~cfg ~alloc_kind:alloc r.Transform.program;
-      entry = r.Transform.entry;
-      trans = Some r;
-    }
+    let src = source g in
+    let key =
+      prep_key ~tag:"cons" ~cfg:s.sp_cfg ~policy:s.sp_policy ~source:src
+        ~parent
+    in
+    let build () =
+      let prog = Parser.parse_program src in
+      let r = Transform.apply ?policy:s.sp_policy ~cfg:s.sp_cfg ~parent prog in
+      { p_prog = r.Transform.program; p_entry = r.Transform.entry;
+        p_trans = Some r }
+    in
+    instantiate s (s.sp_preparer ~key ~build)
+
+let prepare_flat_spec (s : spec) ~(source : string) ~entry : prepared =
+  let key =
+    prep_key ~tag:"flat" ~cfg:s.sp_cfg ~policy:None ~source ~parent:entry
+  in
+  let build () =
+    { p_prog = Parser.parse_program source; p_entry = entry; p_trans = None }
+  in
+  instantiate s (s.sp_preparer ~key ~build)
+
+(* Back-compat wrappers over the spec-driven path. *)
+
+let prepare ?policy ?(alloc = Alloc.Pool) ~cfg
+    ~(source : Pragma.granularity -> string) ~parent variant : prepared =
+  prepare_spec (spec ?policy ~alloc ~cfg variant) ~source ~parent
 
 let prepare_flat ~cfg ~(source : string) ~entry : prepared =
-  let prog = Parser.parse_program source in
-  { dev = Device.create ~cfg prog; entry; trans = None }
+  prepare_flat_spec (spec ~cfg Flat) ~source ~entry
 
 (** Every lintable program of a DP app, labeled by variant: the annotated
     source as written ([basic-dp]), the consolidation compiler's output at

@@ -84,15 +84,18 @@ let programs ?cfg () =
 
 let default_scale = 6000
 
-let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
-    ?(seed = 13) ?inspect variant =
+let run_spec (s : spec) =
+  reject_unknown_extras ~app:name ~known:[] s;
+  let scale = Option.value s.sp_scale ~default:default_scale in
+  let seed = Option.value s.sp_seed ~default:13 in
+  let variant = s.sp_variant in
   let g = Gen.citeseer_like ~n:scale ~seed in
   let n = g.Csr.n in
   let expect = Cpu.pagerank g ~iters:iterations ~d:damping in
   let p =
     match variant with
-    | Flat -> prepare_flat ~cfg ~source:flat_source ~entry:"pr_flat"
-    | v -> prepare ?policy ?alloc ~cfg ~source:dp_source ~parent:"pr_parent" v
+    | Flat -> prepare_flat_spec s ~source:flat_source ~entry:"pr_flat"
+    | _ -> prepare_spec s ~source:dp_source ~parent:"pr_parent"
   in
   let dev = p.dev in
   let row_ptr = Device.of_int_array dev ~name:"row_ptr" g.Csr.row_ptr in
@@ -122,4 +125,7 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
   let final = bufs.(iterations mod 2) in
   check_float_arrays ~what:"pagerank" ~tol:1e-6 expect
     (Device.read_float_array dev final.Dpc_gpu.Memory.id);
-  inspect_and_report ?inspect dev
+  inspect_and_report ?inspect:s.sp_inspect dev
+
+let run ?policy ?alloc ?cfg ?scale ?seed ?inspect variant =
+  run_spec (spec ?policy ?alloc ?cfg ?scale ?seed ?inspect variant)

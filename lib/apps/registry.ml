@@ -4,7 +4,11 @@
     [scale] semantics are app-specific (documented per app): node count
     for the citeseer-based apps, log2 node count for the kron-based apps,
     and the shrink divisor for the tree datasets.  Every runner verifies
-    its results against the CPU reference before reporting. *)
+    its results against the CPU reference before reporting.
+
+    [run_spec] is the first-class entry point the engine layer drives —
+    [run] is the same code behind the historical optional-argument
+    surface. *)
 
 type runner =
   ?policy:Dpc.Config_select.policy ->
@@ -20,6 +24,9 @@ type entry = {
   name : string;
   dataset : string;
   run : runner;
+  run_spec : Harness.spec -> Dpc_sim.Metrics.report;
+      (** spec-driven entry point; app-specific knobs arrive as extras
+          (each app rejects keys it doesn't own) *)
   programs :
     ?cfg:Dpc_gpu.Config.t ->
     unit ->
@@ -32,42 +39,49 @@ let sssp =
   { name = Sssp.name; dataset = Sssp.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
         Sssp.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    run_spec = Sssp.run_spec;
     programs = Sssp.programs }
 
 let spmv =
   { name = Spmv.name; dataset = Spmv.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
         Spmv.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    run_spec = Spmv.run_spec;
     programs = Spmv.programs }
 
 let pagerank =
   { name = Pagerank.name; dataset = Pagerank.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
         Pagerank.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    run_spec = Pagerank.run_spec;
     programs = Pagerank.programs }
 
 let graph_coloring =
   { name = Graph_coloring.name; dataset = Graph_coloring.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
         Graph_coloring.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    run_spec = Graph_coloring.run_spec;
     programs = Graph_coloring.programs }
 
 let bfs_rec =
   { name = Bfs_rec.name; dataset = Bfs_rec.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
         Bfs_rec.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    run_spec = Bfs_rec.run_spec;
     programs = Bfs_rec.programs }
 
 let tree_height =
   { name = Tree_height.name; dataset = Tree_height.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
         Tree_height.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    run_spec = Tree_height.run_spec;
     programs = Tree_height.programs }
 
 let tree_descendants =
   { name = Tree_descendants.name; dataset = Tree_descendants.dataset_name;
     run = (fun ?policy ?alloc ?cfg ?scale ?seed ?inspect v ->
         Tree_descendants.run ?policy ?alloc ?cfg ?scale ?seed ?inspect v);
+    run_spec = Tree_descendants.run_spec;
     programs = Tree_descendants.programs }
 
 (** In the paper's presentation order. *)

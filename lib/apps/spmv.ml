@@ -65,16 +65,19 @@ let programs ?cfg () =
 
 let default_scale = 8000
 
-let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
-    ?(seed = 11) ?inspect variant =
+let run_spec (s : spec) =
+  reject_unknown_extras ~app:name ~known:[] s;
+  let scale = Option.value s.sp_scale ~default:default_scale in
+  let seed = Option.value s.sp_seed ~default:11 in
+  let variant = s.sp_variant in
   let g = Gen.citeseer_like ~n:scale ~seed in
   let rng = Dpc_util.Rng.create (seed + 1) in
   let x = Array.init g.Csr.n (fun _ -> Dpc_util.Rng.float rng) in
   let expect = Cpu.spmv g x in
   let p =
     match variant with
-    | Flat -> prepare_flat ~cfg ~source:flat_source ~entry:"spmv_flat"
-    | v -> prepare ?policy ?alloc ~cfg ~source:dp_source ~parent:"spmv_parent" v
+    | Flat -> prepare_flat_spec s ~source:flat_source ~entry:"spmv_flat"
+    | _ -> prepare_spec s ~source:dp_source ~parent:"spmv_parent"
   in
   let dev = p.dev in
   let row_ptr = Device.of_int_array dev ~name:"row_ptr" g.Csr.row_ptr in
@@ -99,4 +102,7 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
       (args @ [ V.Vint threshold ]));
   check_float_arrays ~what:"spmv y" ~tol:1e-9 expect
     (Device.read_float_array dev y.Dpc_gpu.Memory.id);
-  inspect_and_report ?inspect dev
+  inspect_and_report ?inspect:s.sp_inspect dev
+
+let run ?policy ?alloc ?cfg ?scale ?seed ?inspect variant =
+  run_spec (spec ?policy ?alloc ?cfg ?scale ?seed ?inspect variant)

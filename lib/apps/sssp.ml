@@ -92,15 +92,18 @@ let programs ?cfg () =
 
 let default_scale = 3000
 
-let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
-    ?(seed = 7) ?inspect variant =
+let run_spec (s : spec) =
+  reject_unknown_extras ~app:name ~known:[] s;
+  let scale = Option.value s.sp_scale ~default:default_scale in
+  let seed = Option.value s.sp_seed ~default:7 in
+  let variant = s.sp_variant in
   let g = Gen.citeseer_like ~n:scale ~seed in
   let src = 0 in
   let expect = Cpu.sssp g ~src in
   let p =
     match variant with
-    | Flat -> prepare_flat ~cfg ~source:flat_source ~entry:"sssp_flat"
-    | v -> prepare ?policy ?alloc ~cfg ~source:dp_source ~parent:"sssp_parent" v
+    | Flat -> prepare_flat_spec s ~source:flat_source ~entry:"sssp_flat"
+    | _ -> prepare_spec s ~source:dp_source ~parent:"sssp_parent"
   in
   let dev = p.dev in
   let row_ptr = Device.of_int_array dev ~name:"row_ptr" g.Csr.row_ptr in
@@ -129,4 +132,7 @@ let run ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(scale = default_scale)
   loop 0;
   check_int_arrays ~what:"sssp distances" expect
     (Device.read_int_array dev dist.Dpc_gpu.Memory.id);
-  inspect_and_report ?inspect dev
+  inspect_and_report ?inspect:s.sp_inspect dev
+
+let run ?policy ?alloc ?cfg ?scale ?seed ?inspect variant =
+  run_spec (spec ?policy ?alloc ?cfg ?scale ?seed ?inspect variant)

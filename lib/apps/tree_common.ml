@@ -123,8 +123,29 @@ let programs spec ?cfg () =
     ~flat:(flat_source spec)
     ()
 
-let run spec ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(shrink = 8)
-    ?max_nodes ?(seed = 29) ?(dataset = `Dataset1) ?inspect variant =
+(* App-specific knobs carried in [Harness.spec] extras: [max_nodes] caps
+   the generated tree's node count; [dataset] picks dataset1/dataset2. *)
+let dataset_of_extras hs =
+  match Harness.extra_str hs "dataset" with
+  | None | Some "dataset1" -> `Dataset1
+  | Some "dataset2" -> `Dataset2
+  | Some other ->
+    invalid_arg
+      (Printf.sprintf "extra dataset=%S: expected dataset1 or dataset2"
+         other)
+
+(** [Harness.spec]'s [sp_scale] is the tree shrink divisor (larger =
+    smaller tree, default 4); see {!Dpc_graph.Tree.dataset1}. *)
+let run_spec spec (hs : Harness.spec) =
+  Harness.reject_unknown_extras ~app:spec.app_name
+    ~known:[ "max_nodes"; "dataset" ] hs;
+  let shrink = Option.value hs.Harness.sp_scale ~default:4 in
+  let seed = Option.value hs.Harness.sp_seed ~default:29 in
+  let max_nodes = Harness.extra_int hs "max_nodes" in
+  let dataset = dataset_of_extras hs in
+  let variant = hs.Harness.sp_variant in
+  let cfg = hs.Harness.sp_cfg in
+  let inspect = hs.Harness.sp_inspect in
   let tree =
     match dataset with
     | `Dataset1 -> Tree.dataset1 ~shrink ?max_nodes ~seed ()
@@ -155,7 +176,7 @@ let run spec ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(shrink = 8)
   match variant with
   | Flat ->
     let p =
-      prepare_flat ~cfg ~source:(flat_source spec)
+      prepare_flat_spec hs ~source:(flat_source spec)
         ~entry:(spec.kernel ^ "_flat")
     in
     let dev = p.dev in
@@ -184,8 +205,8 @@ let run spec ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(shrink = 8)
     finish dev out (inspect_and_report ?inspect dev)
   | Basic ->
     let p =
-      prepare ~cfg ~source:(dp_source spec ~child_block) ~parent:spec.kernel
-        Basic
+      prepare_spec hs ~source:(dp_source spec ~child_block)
+        ~parent:spec.kernel
     in
     let dev = p.dev in
     let cp = Device.of_int_array dev ~name:"child_ptr" tree.Tree.child_ptr in
@@ -194,10 +215,10 @@ let run spec ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(shrink = 8)
     Device.launch dev p.entry ~grid:1 ~block:child_block
       [ vbuf cp; vbuf cl; vbuf out; V.Vint n; V.Vint 0 ];
     finish dev out (inspect_and_report ?inspect dev)
-  | Cons _ as v ->
+  | Cons _ ->
     let p =
-      prepare ?policy ?alloc ~cfg ~source:(dp_source spec ~child_block)
-        ~parent:spec.kernel v
+      prepare_spec hs ~source:(dp_source spec ~child_block)
+        ~parent:spec.kernel
     in
     let dev = p.dev in
     let cp = Device.of_int_array dev ~name:"child_ptr" tree.Tree.child_ptr in
@@ -207,3 +228,18 @@ let run spec ?policy ?alloc ?(cfg = Dpc_gpu.Config.k20c) ?(shrink = 8)
       ~uniform_args:[ vbuf cp; vbuf cl; vbuf out; V.Vint n ]
       ~seed_items:[ 0 ];
     finish dev out (inspect_and_report ?inspect dev)
+
+(** The tree knobs spelled as {!Harness.spec} extras. *)
+let extras ?max_nodes ~dataset () =
+  ( "dataset",
+    match dataset with `Dataset1 -> "dataset1" | `Dataset2 -> "dataset2" )
+  ::
+  (match max_nodes with
+  | None -> []
+  | Some m -> [ ("max_nodes", string_of_int m) ])
+
+let run spec ?policy ?alloc ?cfg ?(shrink = 8) ?max_nodes ?(seed = 29)
+    ?(dataset = `Dataset1) ?inspect variant =
+  run_spec spec
+    (Harness.spec ?policy ?alloc ?cfg ~scale:shrink ~seed ?inspect
+       ~extras:(extras ?max_nodes ~dataset ()) variant)

@@ -25,6 +25,11 @@ let spec : Tree_common.spec =
 
 let programs ?cfg () = Tree_common.programs spec ?cfg ()
 
+(** Spec-driven entry point: [sp_scale] is the tree shrink divisor
+    (larger = smaller tree, default 4); extras [max_nodes]/[dataset] as in
+    {!Tree_common.run_spec}. *)
+let run_spec hs = Tree_common.run_spec spec hs
+
 (** [scale] is the tree shrink divisor (larger = smaller tree); see
     {!Dpc_graph.Tree.dataset1}. *)
 let run ?policy ?alloc ?cfg ?(scale = 4) ?max_nodes ?seed ?dataset ?inspect variant =

@@ -38,6 +38,46 @@ let policy_to_string = function
   | One_to_one -> "1-1"
   | Explicit (b, t) -> Printf.sprintf "(%d,%d)" b t
 
+(* Machine-readable spelling: comma- and paren-free so it can live in
+   KEY=V scenario strings; [policy_of_string] inverts it. *)
+let policy_to_key = function
+  | Kc x -> Printf.sprintf "kc%d" x
+  | One_to_one -> "1-1"
+  | Explicit (b, t) -> Printf.sprintf "%dx%d" b t
+
+let policy_of_string s =
+  let bad () =
+    invalid_arg
+      (Printf.sprintf
+         "bad policy %S (expected kcN, 1-1, or BxT, e.g. kc16 or 26x256)" s)
+  in
+  match String.lowercase_ascii s with
+  | "1-1" | "one-to-one" -> One_to_one
+  | other ->
+    if String.length other > 2 && String.sub other 0 2 = "kc" then begin
+      let rest = String.sub other 2 (String.length other - 2) in
+      (* accept both the key spelling kcN and the display spelling KC_N *)
+      let rest =
+        if String.length rest > 1 && rest.[0] = '_' then
+          String.sub rest 1 (String.length rest - 1)
+        else rest
+      in
+      match int_of_string_opt rest with
+      | Some x when x > 0 -> Kc x
+      | _ -> bad ()
+    end
+    else
+      match String.index_opt other 'x' with
+      | Some i -> (
+        match
+          ( int_of_string_opt (String.sub other 0 i),
+            int_of_string_opt
+              (String.sub other (i + 1) (String.length other - i - 1)) )
+        with
+        | Some b, Some t when b > 0 && t > 0 -> Explicit (b, t)
+        | _ -> bad ())
+      | None -> bad ()
+
 (** Classify a child launch from its original configuration expressions. *)
 let classify ~(grid : A.expr) ~(block : A.expr) : child_shape =
   match (grid, block) with

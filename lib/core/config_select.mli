@@ -23,6 +23,15 @@ val default_policy : Dpc_kir.Pragma.granularity -> policy
 
 val policy_to_string : policy -> string
 
+(** Machine-readable spelling ([kcN], [1-1], [BxT]) — comma- and
+    paren-free so it embeds in KEY=V scenario strings; inverted by
+    {!policy_of_string}. *)
+val policy_to_key : policy -> string
+
+(** Parse [kcN] / [KC_N], [1-1] / [one-to-one], or [BxT] (e.g. [26x256]).
+    @raise Invalid_argument on anything else. *)
+val policy_of_string : string -> policy
+
 (** Classify a child launch from its configuration expressions. *)
 val classify :
   grid:Dpc_kir.Ast.expr -> block:Dpc_kir.Ast.expr -> child_shape

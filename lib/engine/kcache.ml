@@ -1,0 +1,83 @@
+(** Cross-run compiled-kernel cache.
+
+    Two layers, with different sharing rules:
+
+    - {b Program preps} (parse + {!Dpc.Transform} output + finalize) are
+      immutable once finalized, so one mutex-guarded table serves every
+      domain.  The build runs under the lock and the program is finalized
+      {e before} publication, so concurrent readers only ever observe
+      finished, read-only programs ({!Dpc_kir.Kernel.finalize} is
+      idempotent — a later session's own finalize call is a no-op).
+    - {b Compiled closures} ({!Dpc_sim.Compile.ckernel}) carry mutable
+      per-warp scratch and must never execute concurrently in two
+      domains, so each domain gets its own table per (cache, prep key)
+      via [Domain.DLS].  Within a domain the table is handed to every
+      session in turn: each kernel lowers at most once per domain per
+      scenario family, instead of once per run.
+
+    Hit/miss counters are cache-level atomics; a "hit" means a run
+    skipped the parse/transform/finalize pipeline entirely. *)
+
+module Harness = Dpc_apps.Harness
+
+type stats = { hits : int; misses : int }
+
+type t = {
+  id : int;  (** distinguishes cache instances inside the per-domain DLS *)
+  lock : Mutex.t;
+  preps : (string, Harness.prep) Hashtbl.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+}
+
+let next_id = Atomic.make 0
+
+let create () =
+  {
+    id = Atomic.fetch_and_add next_id 1;
+    lock = Mutex.create ();
+    preps = Hashtbl.create 32;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+  }
+
+(* Per-domain ckernel tables, keyed by (cache id, prep key).  DLS state is
+   born empty in every domain, so a table can never leak across domains. *)
+let dls_tables :
+    (int * string, Harness.ckernels) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let ckernels_for cache key =
+  let tables = Domain.DLS.get dls_tables in
+  match Hashtbl.find_opt tables (cache.id, key) with
+  | Some t -> t
+  | None ->
+    let t = Hashtbl.create 16 in
+    Hashtbl.replace tables (cache.id, key) t;
+    t
+
+(** The cache as a {!Harness.preparer}: memoizes the program build and
+    seeds the session with this domain's compiled-kernel table. *)
+let preparer cache : Harness.preparer =
+ fun ~key ~build ->
+  let prep =
+    Mutex.protect cache.lock (fun () ->
+        match Hashtbl.find_opt cache.preps key with
+        | Some p ->
+          Atomic.incr cache.hits;
+          p
+        | None ->
+          Atomic.incr cache.misses;
+          let p = build () in
+          Dpc_kir.Kernel.Program.finalize p.Harness.p_prog;
+          Hashtbl.replace cache.preps key p;
+          p)
+  in
+  (prep, Some (ckernels_for cache key))
+
+let stats cache =
+  { hits = Atomic.get cache.hits; misses = Atomic.get cache.misses }
+
+(** Number of distinct programs cached. *)
+let programs cache =
+  Mutex.protect cache.lock (fun () -> Hashtbl.length cache.preps)

@@ -1,0 +1,25 @@
+(** Cross-run compiled-kernel cache.
+
+    Caches the run-independent build products of app variants — parsed
+    programs, {!Dpc.Transform} outputs, finalization — in one shared,
+    mutex-guarded table (programs are finalized before publication and
+    read-only afterwards), and compiled interpreter closures in
+    per-domain tables (closures carry mutable scratch and must never run
+    concurrently in two domains; see {!Dpc_sim.Interp.create_session}). *)
+
+type t
+
+type stats = { hits : int; misses : int }
+
+val create : unit -> t
+
+(** The cache as a {!Dpc_apps.Harness.preparer}: memoizes program builds
+    by key and seeds each session with the calling domain's
+    compiled-kernel table for that key. *)
+val preparer : t -> Dpc_apps.Harness.preparer
+
+(** A hit means a run skipped the parse/transform/finalize pipeline. *)
+val stats : t -> stats
+
+(** Number of distinct programs cached. *)
+val programs : t -> int

@@ -1,0 +1,415 @@
+(** First-class run descriptions.
+
+    A scenario is everything that picks one simulated run: the app, the
+    variant, the configuration policy, the allocator, the device config
+    (a named preset plus per-field integer overrides), the problem scale
+    and seed, the SMX scheduler, the interpreter back end, and any
+    app-specific extras.  It is plain immutable data with stable string /
+    JSON codecs, so experiment suites are declarative scenario lists, CLI
+    flags parse into it, sweep files deserialize into it, and the engine's
+    compiled-kernel cache keys off it.
+
+    The canonical string form is a comma-separated [KEY=V] list in fixed
+    field order — two structurally equal scenarios always print the same
+    string, which is why {!key} and {!hash} are derived from it. *)
+
+module Harness = Dpc_apps.Harness
+module Registry = Dpc_apps.Registry
+module Cfg = Dpc_gpu.Config
+module Alloc = Dpc_alloc.Allocator
+module Cs = Dpc.Config_select
+module Json = Dpc_prof.Json
+
+type t = {
+  app : string;  (** canonical registry name *)
+  variant : Harness.variant;
+  policy : Cs.policy option;  (** [None]: the per-granularity default *)
+  alloc : Alloc.kind;
+  cfg_preset : string;  (** ["k20c"] or ["test-device"] *)
+  cfg_overrides : (string * int) list;  (** sorted by field name *)
+  scale : int option;  (** [None]: the app's documented default *)
+  seed : int option;
+  scheduler : Dpc_sim.Timing.scheduler;
+  interp : Dpc_sim.Interp.mode option;  (** [None]: session default *)
+  extras : (string * string) list;  (** app-specific knobs, sorted *)
+}
+
+(* --- device-config presets and overrides --------------------------------- *)
+
+let cfg_presets = [ ("k20c", Cfg.k20c); ("test-device", Cfg.test_device) ]
+
+let cfg_preset_of_string s =
+  match List.assoc_opt (String.lowercase_ascii s) cfg_presets with
+  | Some c -> c
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown device preset %S (have: %s)" s
+         (String.concat ", " (List.map fst cfg_presets)))
+
+(* Every integer field of Cfg.t, by name, with getter and setter — the
+   surface [cfg.FIELD=N] overrides address (bench ablations sweep these).
+   [name]/[clock_mhz] are deliberately not overridable. *)
+let cfg_fields : (string * (Cfg.t -> int) * (Cfg.t -> int -> Cfg.t)) list =
+  [
+    ("num_smx", (fun c -> c.Cfg.num_smx),
+     fun c v -> { c with Cfg.num_smx = v });
+    ("warp_size", (fun c -> c.Cfg.warp_size),
+     fun c v -> { c with Cfg.warp_size = v });
+    ("max_warps_per_smx", (fun c -> c.Cfg.max_warps_per_smx),
+     fun c v -> { c with Cfg.max_warps_per_smx = v });
+    ("max_blocks_per_smx", (fun c -> c.Cfg.max_blocks_per_smx),
+     fun c v -> { c with Cfg.max_blocks_per_smx = v });
+    ("max_threads_per_block", (fun c -> c.Cfg.max_threads_per_block),
+     fun c v -> { c with Cfg.max_threads_per_block = v });
+    ("max_grid_blocks", (fun c -> c.Cfg.max_grid_blocks),
+     fun c v -> { c with Cfg.max_grid_blocks = v });
+    ("issue_rate", (fun c -> c.Cfg.issue_rate),
+     fun c v -> { c with Cfg.issue_rate = v });
+    ("max_concurrent_grids", (fun c -> c.Cfg.max_concurrent_grids),
+     fun c v -> { c with Cfg.max_concurrent_grids = v });
+    ("max_nesting_depth", (fun c -> c.Cfg.max_nesting_depth),
+     fun c v -> { c with Cfg.max_nesting_depth = v });
+    ("fixed_pool_capacity", (fun c -> c.Cfg.fixed_pool_capacity),
+     fun c v -> { c with Cfg.fixed_pool_capacity = v });
+    ("host_launch_latency", (fun c -> c.Cfg.host_launch_latency),
+     fun c v -> { c with Cfg.host_launch_latency = v });
+    ("device_launch_latency", (fun c -> c.Cfg.device_launch_latency),
+     fun c v -> { c with Cfg.device_launch_latency = v });
+    ("launch_issue_cycles", (fun c -> c.Cfg.launch_issue_cycles),
+     fun c v -> { c with Cfg.launch_issue_cycles = v });
+    ("launch_dram_transactions", (fun c -> c.Cfg.launch_dram_transactions),
+     fun c v -> { c with Cfg.launch_dram_transactions = v });
+    ("dispatch_interval", (fun c -> c.Cfg.dispatch_interval),
+     fun c v -> { c with Cfg.dispatch_interval = v });
+    ("virtual_dispatch_interval",
+     (fun c -> c.Cfg.virtual_dispatch_interval),
+     fun c v -> { c with Cfg.virtual_dispatch_interval = v });
+    ("virtual_pool_penalty", (fun c -> c.Cfg.virtual_pool_penalty),
+     fun c v -> { c with Cfg.virtual_pool_penalty = v });
+    ("virtual_pool_dram", (fun c -> c.Cfg.virtual_pool_dram),
+     fun c v -> { c with Cfg.virtual_pool_dram = v });
+    ("sync_swap_cycles", (fun c -> c.Cfg.sync_swap_cycles),
+     fun c v -> { c with Cfg.sync_swap_cycles = v });
+    ("sync_swap_dram", (fun c -> c.Cfg.sync_swap_dram),
+     fun c v -> { c with Cfg.sync_swap_dram = v });
+    ("block_start_cycles", (fun c -> c.Cfg.block_start_cycles),
+     fun c v -> { c with Cfg.block_start_cycles = v });
+    ("alu_cycles", (fun c -> c.Cfg.alu_cycles),
+     fun c v -> { c with Cfg.alu_cycles = v });
+    ("mem_issue_cycles", (fun c -> c.Cfg.mem_issue_cycles),
+     fun c v -> { c with Cfg.mem_issue_cycles = v });
+    ("dram_transaction_cycles", (fun c -> c.Cfg.dram_transaction_cycles),
+     fun c v -> { c with Cfg.dram_transaction_cycles = v });
+    ("l2_hit_cycles", (fun c -> c.Cfg.l2_hit_cycles),
+     fun c v -> { c with Cfg.l2_hit_cycles = v });
+    ("atomic_cycles", (fun c -> c.Cfg.atomic_cycles),
+     fun c v -> { c with Cfg.atomic_cycles = v });
+    ("mem_segment_bytes", (fun c -> c.Cfg.mem_segment_bytes),
+     fun c v -> { c with Cfg.mem_segment_bytes = v });
+    ("l2_segments", (fun c -> c.Cfg.l2_segments),
+     fun c v -> { c with Cfg.l2_segments = v });
+  ]
+
+let cfg_field name =
+  match
+    List.find_opt (fun (n, _, _) -> n = name) cfg_fields
+  with
+  | Some f -> f
+  | None ->
+    invalid_arg
+      (Printf.sprintf "unknown device-config field %S (have: %s)" name
+         (String.concat ", " (List.map (fun (n, _, _) -> n) cfg_fields)))
+
+(** The scenario's device config: preset with overrides applied, tagged
+    with an override-bearing name so reports stay self-describing. *)
+let resolve_cfg t =
+  let base = cfg_preset_of_string t.cfg_preset in
+  List.fold_left
+    (fun c (name, v) ->
+      let _, _, set = cfg_field name in
+      set c v)
+    base t.cfg_overrides
+
+(* --- small codecs ---------------------------------------------------------- *)
+
+let alloc_to_string = Alloc.kind_to_string
+
+let alloc_of_string s =
+  match String.lowercase_ascii s with
+  | "default" -> Alloc.Default
+  | "halloc" -> Alloc.Halloc
+  | "pre-alloc" | "pool" -> Alloc.Pool
+  | other ->
+    invalid_arg
+      (Printf.sprintf
+         "bad allocator %S (expected default, halloc, or pre-alloc)" other)
+
+let scheduler_to_string = function
+  | Dpc_sim.Timing.Processor_sharing -> "ps"
+  | Dpc_sim.Timing.Fcfs -> "fcfs"
+
+let scheduler_of_string s =
+  match String.lowercase_ascii s with
+  | "ps" | "processor-sharing" -> Dpc_sim.Timing.Processor_sharing
+  | "fcfs" -> Dpc_sim.Timing.Fcfs
+  | other ->
+    invalid_arg
+      (Printf.sprintf "bad scheduler %S (expected ps or fcfs)" other)
+
+let interp_to_string = function
+  | Dpc_sim.Interp.Compiled -> "compiled"
+  | Dpc_sim.Interp.Reference -> "ref"
+
+let interp_of_string s =
+  match String.lowercase_ascii s with
+  | "compiled" -> Dpc_sim.Interp.Compiled
+  | "ref" | "reference" -> Dpc_sim.Interp.Reference
+  | other ->
+    invalid_arg
+      (Printf.sprintf "bad interp mode %S (expected compiled or ref)" other)
+
+(* --- construction ---------------------------------------------------------- *)
+
+let sort_pairs l =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) l
+
+let make ?policy ?(alloc = Alloc.Pool) ?(cfg = "k20c") ?(cfg_overrides = [])
+    ?scale ?seed ?(scheduler = Dpc_sim.Timing.Processor_sharing) ?interp
+    ?(extras = []) ~app variant =
+  (* Vet eagerly so bad scenarios fail at construction, not mid-batch. *)
+  let entry = Registry.find app in
+  let cfg = String.lowercase_ascii cfg in
+  ignore (cfg_preset_of_string cfg : Cfg.t);
+  List.iter (fun (n, _) -> ignore (cfg_field n)) cfg_overrides;
+  {
+    app = entry.Registry.name;
+    variant;
+    policy;
+    alloc;
+    cfg_preset = cfg;
+    cfg_overrides = sort_pairs cfg_overrides;
+    scale;
+    seed;
+    scheduler;
+    interp;
+    extras = sort_pairs extras;
+  }
+
+(* --- string codec ---------------------------------------------------------- *)
+
+let to_string t =
+  let b = Buffer.create 96 in
+  let add k v =
+    if Buffer.length b > 0 then Buffer.add_char b ',';
+    Buffer.add_string b k;
+    Buffer.add_char b '=';
+    Buffer.add_string b v
+  in
+  add "app" t.app;
+  add "variant" (Harness.variant_to_string t.variant);
+  Option.iter (fun p -> add "policy" (Cs.policy_to_key p)) t.policy;
+  add "alloc" (alloc_to_string t.alloc);
+  add "cfg" t.cfg_preset;
+  List.iter (fun (n, v) -> add ("cfg." ^ n) (string_of_int v))
+    t.cfg_overrides;
+  Option.iter (fun s -> add "scale" (string_of_int s)) t.scale;
+  Option.iter (fun s -> add "seed" (string_of_int s)) t.seed;
+  add "sched" (scheduler_to_string t.scheduler);
+  Option.iter (fun m -> add "interp" (interp_to_string m)) t.interp;
+  List.iter (fun (k, v) -> add ("x." ^ k) v) t.extras;
+  Buffer.contents b
+
+let int_value ~key v =
+  match int_of_string_opt v with
+  | Some i -> i
+  | None ->
+    invalid_arg (Printf.sprintf "scenario %s=%S: expected an integer" key v)
+
+(** Parse the [KEY=V,...] form ({!to_string}'s output, in any key order).
+    @raise Invalid_argument on unknown keys or bad values. *)
+let of_string s =
+  let app = ref None and variant = ref None and policy = ref None in
+  let alloc = ref Alloc.Pool and cfg = ref "k20c" in
+  let cfg_overrides = ref [] and scale = ref None and seed = ref None in
+  let scheduler = ref Dpc_sim.Timing.Processor_sharing in
+  let interp = ref None and extras = ref [] in
+  String.split_on_char ',' s
+  |> List.iter (fun item ->
+         let item = String.trim item in
+         if item <> "" then
+           match String.index_opt item '=' with
+           | None ->
+             invalid_arg
+               (Printf.sprintf "scenario item %S: expected KEY=V" item)
+           | Some i ->
+             let key = String.sub item 0 i in
+             let v =
+               String.sub item (i + 1) (String.length item - i - 1)
+             in
+             (match key with
+             | "app" -> app := Some v
+             | "variant" -> variant := Some (Harness.variant_of_string v)
+             | "policy" -> policy := Some (Cs.policy_of_string v)
+             | "alloc" -> alloc := alloc_of_string v
+             | "cfg" -> cfg := v
+             | "scale" -> scale := Some (int_value ~key v)
+             | "seed" -> seed := Some (int_value ~key v)
+             | "sched" -> scheduler := scheduler_of_string v
+             | "interp" -> interp := Some (interp_of_string v)
+             | _ ->
+               if String.length key > 4 && String.sub key 0 4 = "cfg."
+               then
+                 cfg_overrides :=
+                   ( String.sub key 4 (String.length key - 4),
+                     int_value ~key v )
+                   :: !cfg_overrides
+               else if String.length key > 2 && String.sub key 0 2 = "x."
+               then
+                 extras :=
+                   (String.sub key 2 (String.length key - 2), v) :: !extras
+               else
+                 invalid_arg
+                   (Printf.sprintf "unknown scenario key %S" key)))
+  |> ignore;
+  let app =
+    match !app with
+    | Some a -> a
+    | None -> invalid_arg "scenario: missing app=NAME"
+  in
+  let variant =
+    match !variant with
+    | Some v -> v
+    | None -> invalid_arg "scenario: missing variant=V"
+  in
+  make ?policy:!policy ~alloc:!alloc ~cfg:!cfg
+    ~cfg_overrides:!cfg_overrides ?scale:!scale ?seed:!seed
+    ~scheduler:!scheduler ?interp:!interp ~extras:!extras ~app variant
+
+(* --- JSON codec ------------------------------------------------------------ *)
+
+let to_json t =
+  let opt k f v rest =
+    match v with None -> rest | Some x -> (k, f x) :: rest
+  in
+  Json.Obj
+    (("app", Json.String t.app)
+     :: ("variant", Json.String (Harness.variant_to_string t.variant))
+     :: opt "policy" (fun p -> Json.String (Cs.policy_to_key p)) t.policy
+          (("alloc", Json.String (alloc_to_string t.alloc))
+           :: ("cfg", Json.String t.cfg_preset)
+           :: (if t.cfg_overrides = [] then []
+               else
+                 [ ( "cfg_overrides",
+                     Json.Obj
+                       (List.map
+                          (fun (n, v) -> (n, Json.Int v))
+                          t.cfg_overrides) ) ])
+           @ opt "scale" (fun s -> Json.Int s) t.scale
+               (opt "seed" (fun s -> Json.Int s) t.seed
+                  (("sched", Json.String (scheduler_to_string t.scheduler))
+                   :: opt "interp"
+                        (fun m -> Json.String (interp_to_string m))
+                        t.interp
+                        (if t.extras = [] then []
+                         else
+                           [ ( "extras",
+                               Json.Obj
+                                 (List.map
+                                    (fun (k, v) -> (k, Json.String v))
+                                    t.extras) ) ])))))
+
+let of_json (j : Json.t) =
+  let obj =
+    match j with
+    | Json.Obj kvs -> kvs
+    | _ -> invalid_arg "scenario JSON: expected an object"
+  in
+  let find k = List.assoc_opt k obj in
+  let str k =
+    match find k with
+    | Some (Json.String s) -> Some s
+    | Some _ -> invalid_arg (Printf.sprintf "scenario JSON %s: expected a string" k)
+    | None -> None
+  in
+  let int k =
+    match find k with
+    | Some j -> Some (Json.to_int j)
+    | None -> None
+  in
+  let require what = function
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "scenario JSON: missing %s" what)
+  in
+  let pairs k of_v =
+    match find k with
+    | None -> []
+    | Some (Json.Obj kvs) -> List.map (fun (n, v) -> (n, of_v n v)) kvs
+    | Some _ ->
+      invalid_arg (Printf.sprintf "scenario JSON %s: expected an object" k)
+  in
+  make
+    ?policy:(Option.map Cs.policy_of_string (str "policy"))
+    ~alloc:
+      (match str "alloc" with
+      | Some a -> alloc_of_string a
+      | None -> Alloc.Pool)
+    ~cfg:(Option.value (str "cfg") ~default:"k20c")
+    ~cfg_overrides:(pairs "cfg_overrides" (fun _ v -> Json.to_int v))
+    ?scale:(int "scale") ?seed:(int "seed")
+    ~scheduler:
+      (match str "sched" with
+      | Some s -> scheduler_of_string s
+      | None -> Dpc_sim.Timing.Processor_sharing)
+    ?interp:(Option.map interp_of_string (str "interp"))
+    ~extras:
+      (pairs "extras" (fun n v ->
+           match v with
+           | Json.String s -> s
+           | _ ->
+             invalid_arg
+               (Printf.sprintf "scenario JSON extras.%s: expected a string"
+                  n)))
+    ~app:(require "app" (str "app"))
+    (Harness.variant_of_string (require "variant" (str "variant")))
+
+(** Decode a sweep file: either a bare JSON list of scenarios or an
+    object with a ["scenarios"] member.  Each element is a scenario
+    object ({!of_json}) or a canonical scenario string ({!of_string}). *)
+let sweep_of_json (j : Json.t) =
+  let item = function
+    | Json.String s -> of_string s
+    | element -> of_json element
+  in
+  match j with
+  | Json.List l -> List.map item l
+  | Json.Obj kvs -> (
+    match List.assoc_opt "scenarios" kvs with
+    | Some (Json.List l) -> List.map item l
+    | Some _ ->
+      invalid_arg "sweep JSON: \"scenarios\" must be a list"
+    | None -> invalid_arg "sweep JSON: missing \"scenarios\" list")
+  | _ ->
+    invalid_arg "sweep JSON: expected a list or {\"scenarios\": [...]}"
+
+(* --- identity -------------------------------------------------------------- *)
+
+(** Stable identity: the canonical string form. *)
+let key = to_string
+
+let hash t = Digest.to_hex (Digest.string (to_string t))
+
+let equal a b = a = b
+
+(** Short human label for tables and progress lines. *)
+let label t =
+  Printf.sprintf "%s/%s" t.app (Harness.variant_to_string t.variant)
+
+(* --- lowering to the apps layer -------------------------------------------- *)
+
+(** Lower to the harness-level run specification.  [preparer] threads the
+    engine's compiled-program cache; [inspect] the session's profiling
+    hook. *)
+let to_spec ?preparer ?inspect t =
+  Harness.spec ?policy:t.policy ~alloc:t.alloc ~cfg:(resolve_cfg t)
+    ?scale:t.scale ?seed:t.seed ~scheduler:t.scheduler ?interp:t.interp
+    ?preparer ?inspect ~extras:t.extras t.variant

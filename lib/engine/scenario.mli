@@ -1,0 +1,96 @@
+(** First-class run descriptions with stable codecs.
+
+    A scenario is everything that picks one simulated run.  It replaces
+    the optional-argument soup that used to thread app runners: suites
+    declare scenario lists, CLI flags parse into it ([--scenario
+    KEY=V,...]), sweep files deserialize into it, and the engine's
+    compiled-kernel cache keys off it.
+
+    Canonical form: {!to_string} emits [KEY=V] pairs in fixed field order
+    with [None] fields omitted, so structural equality coincides with
+    string equality — {!key} and {!hash} are derived from it. *)
+
+type t = {
+  app : string;  (** canonical registry name *)
+  variant : Dpc_apps.Harness.variant;
+  policy : Dpc.Config_select.policy option;
+      (** [None]: the per-granularity default *)
+  alloc : Dpc_alloc.Allocator.kind;
+  cfg_preset : string;  (** ["k20c"] or ["test-device"] *)
+  cfg_overrides : (string * int) list;
+      (** integer device-config field overrides, sorted by field name *)
+  scale : int option;  (** [None]: the app's documented default *)
+  seed : int option;
+  scheduler : Dpc_sim.Timing.scheduler;
+  interp : Dpc_sim.Interp.mode option;  (** [None]: session default *)
+  extras : (string * string) list;  (** app-specific knobs, sorted *)
+}
+
+(** Smart constructor: canonicalizes the app name via the registry,
+    lowercases and vets the config preset, vets override field names, and
+    sorts override/extra lists.
+    @raise Invalid_argument on unknown apps, presets or fields. *)
+val make :
+  ?policy:Dpc.Config_select.policy ->
+  ?alloc:Dpc_alloc.Allocator.kind ->
+  ?cfg:string ->
+  ?cfg_overrides:(string * int) list ->
+  ?scale:int ->
+  ?seed:int ->
+  ?scheduler:Dpc_sim.Timing.scheduler ->
+  ?interp:Dpc_sim.Interp.mode ->
+  ?extras:(string * string) list ->
+  app:string ->
+  Dpc_apps.Harness.variant ->
+  t
+
+(** Device config: preset with overrides applied. *)
+val resolve_cfg : t -> Dpc_gpu.Config.t
+
+(** {2 Codecs} *)
+
+val to_string : t -> string
+
+(** Parse {!to_string}'s [KEY=V,...] form, any key order.  Unknown keys
+    are rejected; [cfg.FIELD=N] addresses device-config overrides and
+    [x.KEY=V] app extras.
+    @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val to_json : t -> Dpc_prof.Json.t
+val of_json : Dpc_prof.Json.t -> t
+
+(** Decode a sweep file: a bare JSON list of scenarios, or an object
+    with a ["scenarios"] member; elements are scenario objects
+    ({!of_json}) or canonical strings ({!of_string}). *)
+val sweep_of_json : Dpc_prof.Json.t -> t list
+
+val alloc_to_string : Dpc_alloc.Allocator.kind -> string
+val alloc_of_string : string -> Dpc_alloc.Allocator.kind
+val scheduler_to_string : Dpc_sim.Timing.scheduler -> string
+val scheduler_of_string : string -> Dpc_sim.Timing.scheduler
+val interp_to_string : Dpc_sim.Interp.mode -> string
+val interp_of_string : string -> Dpc_sim.Interp.mode
+
+(** {2 Identity} *)
+
+(** Stable identity: the canonical string form. *)
+val key : t -> string
+
+(** MD5 of {!key}, hex. *)
+val hash : t -> string
+
+val equal : t -> t -> bool
+
+(** Short human label, [app/variant]. *)
+val label : t -> string
+
+(** {2 Lowering} *)
+
+(** Lower to the harness-level run specification.  [preparer] threads the
+    engine's compiled-program cache; [inspect] a profiling hook. *)
+val to_spec :
+  ?preparer:Dpc_apps.Harness.preparer ->
+  ?inspect:(Dpc_sim.Device.t -> unit) ->
+  t ->
+  Dpc_apps.Harness.spec

@@ -1,0 +1,93 @@
+(** Scenario execution sessions.
+
+    A session owns a {!Kcache} and a worker-pool width, and executes
+    {!Scenario.t} values through the registry's spec-driven app entry
+    points.  Runs that differ only in scale, seed or allocator share one
+    parse/transform/finalize of their programs (and, per domain, one
+    closure compilation per kernel); every run still gets a fresh device,
+    memory and allocator, so results are byte-identical to uncached runs
+    — which the determinism tests assert.
+
+    {!run_all} is the batch executor the experiment suites sit on: it
+    fans the scenario list over a {!Dpc_util.Pool} and returns per-
+    scenario outcomes in submission order, capturing per-run exceptions
+    (e.g. an infeasible explicit configuration in an exhaustive sweep)
+    instead of failing the batch. *)
+
+module Registry = Dpc_apps.Registry
+module Metrics = Dpc_sim.Metrics
+
+type outcome = {
+  scenario : Scenario.t;
+  result : (Metrics.report, exn) result;
+}
+
+type t = {
+  cache : Kcache.t option;
+  pool : Dpc_util.Pool.t;
+  verbose : bool;
+  strict_check : bool;
+  inspect : (Scenario.t -> Dpc_sim.Device.t -> unit) option;
+}
+
+(** [create ()] builds a session.  [jobs] bounds batch parallelism
+    (default 1: serial); [cache:false] disables program reuse (every run
+    builds fresh — the baseline the cache benchmark compares against);
+    [inspect] runs after each scenario's launches with its device (for
+    profiling capture); [strict_check] installs the static verifier's
+    strict finalize hook around batches, so every program a batch builds
+    is vetted. *)
+let create ?(jobs = 1) ?(cache = true) ?(verbose = false) ?inspect
+    ?(strict_check = false) () =
+  {
+    cache = (if cache then Some (Kcache.create ()) else None);
+    pool = Dpc_util.Pool.create ~jobs;
+    verbose;
+    strict_check;
+    inspect;
+  }
+
+let jobs t = Dpc_util.Pool.jobs t.pool
+
+let cache_stats t =
+  match t.cache with
+  | Some c -> Kcache.stats c
+  | None -> { Kcache.hits = 0; misses = 0 }
+
+let run_one t (sc : Scenario.t) =
+  let entry = Registry.find sc.Scenario.app in
+  let preparer = Option.map Kcache.preparer t.cache in
+  let inspect = Option.map (fun f -> f sc) t.inspect in
+  let spec = Scenario.to_spec ?preparer ?inspect sc in
+  entry.Registry.run_spec spec
+
+(** Execute one scenario; exceptions propagate. *)
+let run t sc =
+  let wrap f = if t.strict_check then Dpc_check.Check.with_strict f else f () in
+  wrap (fun () -> run_one t sc)
+
+(** Execute a batch across the session's pool.  Outcomes keep submission
+    order; a failing scenario yields [Error] without aborting its
+    siblings. *)
+let run_all t (scenarios : Scenario.t list) : outcome list =
+  let work sc =
+    let result = try Ok (run_one t sc) with e -> Error e in
+    if t.verbose then begin
+      (* Progress goes to stderr: stdout carries the figure tables. *)
+      (match result with
+      | Ok r ->
+        Printf.eprintf "engine: %-24s %12.0f cycles\n" (Scenario.label sc)
+          r.Metrics.cycles
+      | Error e ->
+        Printf.eprintf "engine: %-24s failed: %s\n" (Scenario.label sc)
+          (Printexc.to_string e));
+      flush stderr
+    end;
+    { scenario = sc; result }
+  in
+  let body () = Dpc_util.Pool.parallel_map t.pool work scenarios in
+  if t.strict_check then Dpc_check.Check.with_strict body else body ()
+
+(** [report outcome] unwraps, re-raising a captured failure. *)
+let report (o : outcome) =
+  match o.result with Ok r -> r | Error e -> raise e

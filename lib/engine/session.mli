@@ -1,0 +1,44 @@
+(** Scenario execution sessions: the one way every front end (suite
+    figures, CLI flags, sweep files, benchmarks) runs apps.
+
+    A session owns a {!Kcache} and a worker pool.  Runs differing only in
+    scale, seed or allocator share one program build (and one closure
+    compilation per kernel per domain); every run still gets a fresh
+    device, so results are byte-identical to uncached runs. *)
+
+type outcome = {
+  scenario : Scenario.t;
+  result : (Dpc_sim.Metrics.report, exn) result;
+}
+
+type t
+
+(** [jobs] bounds batch parallelism (default 1); [cache:false] disables
+    program reuse (every run builds fresh); [verbose] prints a line per
+    finished scenario; [inspect] runs after each scenario's launches with
+    its device; [strict_check] installs the static verifier's strict
+    finalize hook around runs and batches. *)
+val create :
+  ?jobs:int ->
+  ?cache:bool ->
+  ?verbose:bool ->
+  ?inspect:(Scenario.t -> Dpc_sim.Device.t -> unit) ->
+  ?strict_check:bool ->
+  unit ->
+  t
+
+val jobs : t -> int
+
+(** Zero for cacheless sessions. *)
+val cache_stats : t -> Kcache.stats
+
+(** Execute one scenario; exceptions propagate. *)
+val run : t -> Scenario.t -> Dpc_sim.Metrics.report
+
+(** Execute a batch across the session's pool.  Outcomes keep submission
+    order; a failing scenario yields [Error] without aborting its
+    siblings. *)
+val run_all : t -> Scenario.t list -> outcome list
+
+(** Unwrap an outcome, re-raising a captured failure. *)
+val report : outcome -> Dpc_sim.Metrics.report

@@ -76,6 +76,38 @@ let suite_json ?scale (s : Suite.t) ~(tables : Table.t list) =
         ("tables", Json.List (List.map table_json tables));
       ])
 
+(* --- scenario sweeps (dpc-sweep-v1) ---------------------------------------- *)
+
+let sweep_schema_version = "dpc-sweep-v1"
+
+(** One tagged engine outcome: the full scenario (object and canonical
+    key plus hash, so consumers can join runs across sweeps), and either
+    the metrics report or the failure message. *)
+let outcome_json (o : Dpc_engine.Session.outcome) =
+  let sc = o.Dpc_engine.Session.scenario in
+  Json.Obj
+    ([
+       ("scenario", Dpc_engine.Scenario.to_json sc);
+       ("key", Json.String (Dpc_engine.Scenario.key sc));
+       ("hash", Json.String (Dpc_engine.Scenario.hash sc));
+     ]
+    @
+    match o.Dpc_engine.Session.result with
+    | Ok r -> [ ("report", M.to_json r) ]
+    | Error e -> [ ("error", Json.String (Printexc.to_string e)) ])
+
+(** Snapshot of a scenario sweep ([--scenario]/[--sweep] runs): one
+    entry per outcome, in submission order.  Like {!suite_json}, the
+    export carries no timestamps or environment data, so identical
+    sweeps produce byte-identical files. *)
+let sweep_json ?(source = "bin/experiments") outcomes =
+  Json.Obj
+    [
+      ("schema", Json.String sweep_schema_version);
+      ("source", Json.String source);
+      ("runs", Json.List (List.map outcome_json outcomes));
+    ]
+
 let write_file path json =
   let oc = open_out path in
   Fun.protect

@@ -12,6 +12,8 @@ module M = Dpc_sim.Metrics
 module Alloc = Dpc_alloc.Allocator
 module Pragma = Dpc_kir.Pragma
 module Table = Dpc_util.Table
+module Scenario = Dpc_engine.Scenario
+module Session = Dpc_engine.Session
 
 type result = {
   basic_cycles : float;
@@ -26,34 +28,35 @@ let allocators = [ Alloc.Default; Alloc.Halloc; Alloc.Pool ]
 (* One independent simulation per table cell, plus the two references. *)
 type task = Basic_ref | Flat_ref | Cell of Pragma.granularity * Alloc.kind
 
-let run ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) ?(jobs = 1) () :
+let tasks =
+  Basic_ref :: Flat_ref
+  :: List.concat_map
+       (fun g -> List.map (fun a -> Cell (g, a)) allocators)
+       granularities
+
+let scenario ?scale ~cfg task =
+  match task with
+  | Basic_ref -> Scenario.make ~cfg ?scale ~app:"SSSP" H.Basic
+  | Flat_ref -> Scenario.make ~cfg ?scale ~app:"SSSP" H.Flat
+  | Cell (g, a) -> Scenario.make ~alloc:a ~cfg ?scale ~app:"SSSP" (H.Cons g)
+
+(** The figure as a declarative scenario list.  Every cell differs from
+    its siblings only in allocator (or granularity), so a caching session
+    builds each consolidated program once and reuses it across the
+    allocator sweep. *)
+let scenarios ?scale ?(cfg = "k20c") () =
+  List.map (scenario ?scale ~cfg) tasks
+
+let run ?(verbose = true) ?scale ?(cfg = "k20c") ?(jobs = 1) ?session () :
     result =
-  let log fmt =
-    Printf.ksprintf (fun s -> if verbose then Printf.eprintf "[fig5] %s\n%!" s) fmt
+  let session =
+    match session with
+    | Some s -> s
+    | None -> Session.create ~jobs ~verbose ()
   in
-  let tasks =
-    Basic_ref :: Flat_ref
-    :: List.concat_map
-         (fun g -> List.map (fun a -> Cell (g, a)) allocators)
-         granularities
-  in
-  let pool = Dpc_util.Pool.create ~jobs in
   let reports =
-    Dpc_util.Pool.parallel_map pool
-      (fun task ->
-        match task with
-        | Basic_ref ->
-          log "SSSP basic-dp...";
-          Dpc_apps.Sssp.run ?scale ~cfg H.Basic
-        | Flat_ref ->
-          log "SSSP no-dp...";
-          Dpc_apps.Sssp.run ?scale ~cfg H.Flat
-        | Cell (g, a) ->
-          log "SSSP %s / %s..."
-            (Pragma.granularity_to_string g)
-            (Alloc.kind_to_string a);
-          Dpc_apps.Sssp.run ?scale ~cfg ~alloc:a (H.Cons g))
-      tasks
+    List.map Session.report
+      (Session.run_all session (scenarios ?scale ~cfg ()))
   in
   let tagged = List.combine tasks reports in
   let report_of t = List.assoc t tagged in
@@ -92,5 +95,5 @@ let to_table (r : result) =
       Table.fmt_ratio r.flat_speedup; Table.fmt_ratio r.flat_speedup ];
   t
 
-let print ?verbose ?scale ?cfg ?jobs () =
-  Table.print (to_table (run ?verbose ?scale ?cfg ?jobs ()))
+let print ?verbose ?scale ?cfg ?jobs ?session () =
+  Table.print (to_table (run ?verbose ?scale ?cfg ?jobs ?session ()))

@@ -14,6 +14,8 @@ module Cs = Dpc.Config_select
 module Pragma = Dpc_kir.Pragma
 module Table = Dpc_util.Table
 module Cfg = Dpc_gpu.Config
+module Scenario = Dpc_engine.Scenario
+module Session = Dpc_engine.Session
 
 type policy_point = Kc1 | Kc16 | Kc32 | One_to_one | Exhaustive
 
@@ -54,19 +56,22 @@ type task =
   | T_point of Pragma.granularity * policy_point
   | T_cand of Pragma.granularity * (int * int)
 
-let run_dataset ?(verbose = true) ?scale ~cfg ~jobs ~dataset () :
+(* Scenario for one fig-6 cell.  The reduced tree cap keeps the
+   exhaustive sweep's worst configs (huge 1-1 grids full of per-block
+   buffers) inside memory; it and the dataset choice travel as app
+   extras. *)
+let scenario ?policy ?scale ~cfg ~dataset variant =
+  Scenario.make ?policy ~cfg ?scale ~app:"TD"
+    ~extras:(Dpc_apps.Tree_common.extras ~max_nodes:40_000 ~dataset ())
+    variant
+
+let run_dataset ?(verbose = true) ?scale ~cfg ~session ~dataset () :
     dataset_result =
   let dname = match dataset with `Dataset1 -> "dataset1" | `Dataset2 -> "dataset2" in
   let log fmt =
     Printf.ksprintf
       (fun s -> if verbose then Printf.eprintf "[fig6:%s] %s\n%!" dname s)
       fmt
-  in
-  let run ?policy variant =
-    (* A reduced tree cap keeps the exhaustive sweep's worst configs (huge
-       1-1 grids full of per-block buffers) inside memory. *)
-    Dpc_apps.Tree_descendants.run ?policy ~cfg ?scale ~max_nodes:40_000
-      ~dataset variant
   in
   let policy_of = function
     | Kc1 -> Cs.Kc 1
@@ -75,6 +80,14 @@ let run_dataset ?(verbose = true) ?scale ~cfg ~jobs ~dataset () :
     | One_to_one -> Cs.One_to_one
     | Exhaustive -> assert false
   in
+  let scenario_of = function
+    | T_basic -> scenario ?scale ~cfg ~dataset H.Basic
+    | T_point (g, point) ->
+      scenario ~policy:(policy_of point) ?scale ~cfg ~dataset (H.Cons g)
+    | T_cand (g, (b, t)) ->
+      scenario ~policy:(Cs.Explicit (b, t)) ?scale ~cfg ~dataset (H.Cons g)
+  in
+  let cfg_t = Scenario.resolve_cfg (scenario ?scale ~cfg ~dataset H.Basic) in
   let tasks =
     T_basic
     :: List.concat_map
@@ -83,32 +96,25 @@ let run_dataset ?(verbose = true) ?scale ~cfg ~jobs ~dataset () :
              (fun point ->
                match point with
                | Exhaustive ->
-                 List.map (fun c -> T_cand (g, c)) (exhaustive_space cfg)
+                 List.map (fun c -> T_cand (g, c)) (exhaustive_space cfg_t)
                | _ -> [ T_point (g, point) ])
              policy_points)
          granularities
   in
-  let pool = Dpc_util.Pool.create ~jobs in
+  let outcomes = Session.run_all session (List.map scenario_of tasks) in
+  (* Exhaustive candidates too small for the workload fail their run;
+     [run_all] captured that as [Error], which the sweep reduction below
+     skips.  The reference and fixed-policy points must succeed —
+     [Session.report] re-raises their failures. *)
   let reports =
-    Dpc_util.Pool.parallel_map pool
-      (fun task ->
-        match task with
-        | T_basic ->
-          log "basic-dp...";
-          Some (run H.Basic)
-        | T_point (g, point) ->
-          log "%s %s..." (Pragma.granularity_to_string g) (point_name point);
-          Some (run ~policy:(policy_of point) (H.Cons g))
-        | T_cand (g, c) -> (
-          let b, t = c in
-          try Some (run ~policy:(Cs.Explicit (b, t)) (H.Cons g))
-          with _ -> None (* configs too small for the workload *)))
-      tasks
+    List.map
+      (fun (o : Session.outcome) ->
+        match o.Session.result with Ok r -> Some r | Error _ -> None)
+      outcomes
   in
   let tagged = List.combine tasks reports in
-  let basic =
-    match List.assoc T_basic tagged with Some r -> r | None -> assert false
-  in
+  let tagged_outcomes = List.combine tasks outcomes in
+  let basic = Session.report (List.assoc T_basic tagged_outcomes) in
   let speedup (r : M.report) = basic.M.cycles /. r.M.cycles in
   let cells = ref [] and best_configs = ref [] in
   List.iter
@@ -139,9 +145,7 @@ let run_dataset ?(verbose = true) ?scale ~cfg ~jobs ~dataset () :
             best_configs := (g, !best_cfg) :: !best_configs
           | _ ->
             let r =
-              match List.assoc (T_point (g, point)) tagged with
-              | Some r -> r
-              | None -> assert false
+              Session.report (List.assoc (T_point (g, point)) tagged_outcomes)
             in
             cells := ((g, point), speedup r) :: !cells)
         policy_points)
@@ -151,11 +155,19 @@ let run_dataset ?(verbose = true) ?scale ~cfg ~jobs ~dataset () :
 
 type result = dataset_result list
 
-let run ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) ?(jobs = 1) () :
+let run ?(verbose = true) ?scale ?(cfg = "k20c") ?(jobs = 1) ?session () :
     result =
+  (* One session for both datasets: the policy points and candidate
+     configurations build identical programs on either dataset, so the
+     second dataset's sweep runs entirely out of the compiled cache. *)
+  let session =
+    match session with
+    | Some s -> s
+    | None -> Session.create ~jobs ~verbose ()
+  in
   [
-    run_dataset ~verbose ?scale ~cfg ~jobs ~dataset:`Dataset1 ();
-    run_dataset ~verbose ?scale ~cfg ~jobs ~dataset:`Dataset2 ();
+    run_dataset ~verbose ?scale ~cfg ~session ~dataset:`Dataset1 ();
+    run_dataset ~verbose ?scale ~cfg ~session ~dataset:`Dataset2 ();
   ]
 
 let to_tables (r : result) =
@@ -201,8 +213,8 @@ let default_vs_exhaustive (r : result) =
     r
   |> Dpc_util.Stats.mean
 
-let print ?verbose ?scale ?cfg ?jobs () =
-  let r = run ?verbose ?scale ?cfg ?jobs () in
+let print ?verbose ?scale ?cfg ?jobs ?session () =
+  let r = run ?verbose ?scale ?cfg ?jobs ?session () in
   List.iter Table.print (to_tables r);
   Printf.printf
     "Default KC policy achieves %.1f%% of the exhaustive-search optimum \

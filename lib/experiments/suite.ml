@@ -8,6 +8,8 @@
 module H = Dpc_apps.Harness
 module R = Dpc_apps.Registry
 module M = Dpc_sim.Metrics
+module Scenario = Dpc_engine.Scenario
+module Session = Dpc_engine.Session
 
 type row = {
   app : string;
@@ -54,50 +56,64 @@ let write_run_artifacts ~dir ~app variant dev =
     (Dpc_prof.Json.to_string_pretty
        (Dpc_prof.Profile.to_json (Dpc_prof.Profile.of_events events)))
 
-(** Collect all runs.  [scale] overrides each app's default problem size
-    (interpreted per app); [verbose] logs progress to stderr.  The 35
-    (app x variant) simulations are independent, so they are fanned out
-    over [jobs] domains ([1] = today's serial path); every simulation
-    builds its own device and dataset from fixed seeds, so the collected
-    reports are identical regardless of [jobs].  [apps] restricts the
+(** The suite as a declarative scenario list: every registry app (or the
+    [apps] subset) at every variant, at [scale], on the [cfg] device
+    preset. *)
+let scenarios ?scale ?(cfg = "k20c") ?(apps = R.all) () =
+  List.concat_map
+    (fun (e : R.entry) ->
+      List.map
+        (fun v -> Scenario.make ~cfg ?scale ~app:e.R.name v)
+        variant_order)
+    apps
+
+(** Collect all runs through the engine.  [scale] overrides each app's
+    default problem size (interpreted per app); [cfg] names a device
+    preset.  The 35 (app x variant) simulations are independent, so the
+    session fans them out over its domain pool; every simulation builds
+    its own device and dataset from fixed seeds, so the collected reports
+    are identical regardless of the job count.  [apps] restricts the
     collection to a subset of the registry (default: all seven).
-    [trace_dir] additionally profiles every run and writes
+
+    [session] reuses a caller-owned {!Session.t} (sharing its
+    compiled-kernel cache with other figures); without one — or whenever
+    [trace_dir] is set, because the artifact hook is fixed at session
+    creation — a fresh session with [jobs] workers is built here.
+    [trace_dir] profiles every run and writes
     [<app>-<variant>.trace.json] (Chrome trace-event format) and
     [<app>-<variant>.profile.json] (per-kernel summary) there; the files
     are byte-identical for any [jobs]. *)
-let collect ?(verbose = true) ?scale ?(cfg = Dpc_gpu.Config.k20c) ?(jobs = 1)
-    ?(apps = R.all) ?trace_dir () : t =
+let collect ?(verbose = true) ?scale ?(cfg = "k20c") ?(jobs = 1)
+    ?(apps = R.all) ?trace_dir ?session () : t =
   (match trace_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
   | _ -> ());
-  let pool = Dpc_util.Pool.create ~jobs in
-  let tasks =
-    List.concat_map
-      (fun (e : R.entry) -> List.map (fun v -> (e, v)) variant_order)
-      apps
+  let session =
+    match (session, trace_dir) with
+    | Some s, None -> s
+    | _, dir ->
+      let inspect =
+        Option.map
+          (fun dir (sc : Scenario.t) dev ->
+            write_run_artifacts ~dir ~app:sc.Scenario.app
+              sc.Scenario.variant dev)
+          dir
+      in
+      Session.create ~jobs ~verbose ?inspect ()
   in
-  let reports =
-    Dpc_util.Pool.parallel_map pool
-      (fun ((e : R.entry), v) ->
-        if verbose then
-          Printf.eprintf "[suite] %s / %s...\n%!" e.R.name
-            (H.variant_to_string v);
-        let inspect =
-          Option.map
-            (fun dir dev -> write_run_artifacts ~dir ~app:e.R.name v dev)
-            trace_dir
-        in
-        (v, e.R.run ?scale ~cfg ?inspect v))
-      tasks
-  in
-  (* Reassemble per-app rows; [parallel_map] preserves submission order,
-     so this grouping is deterministic. *)
+  let outcomes = Session.run_all session (scenarios ?scale ~cfg ~apps ()) in
+  (* Reassemble per-app rows; [run_all] preserves submission order, so
+     this grouping is deterministic.  [Scenario.make] canonicalized the
+     app names against the registry, so matching on [e.name] is exact. *)
   List.map
     (fun (e : R.entry) ->
       let results =
         List.filter_map
-          (fun ((e', _), r) -> if e' == e then Some r else None)
-          (List.combine tasks reports)
+          (fun (o : Session.outcome) ->
+            if o.Session.scenario.Scenario.app = e.R.name then
+              Some (o.Session.scenario.Scenario.variant, Session.report o)
+            else None)
+          outcomes
       in
       { app = e.R.name; dataset = e.R.dataset; results })
     apps

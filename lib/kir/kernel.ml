@@ -39,10 +39,18 @@ let make ~name ?(params = []) ?(shared = []) ?(line = 0) body =
     a no-op.  The hook may raise to reject the kernel. *)
 let finalize_check : (t -> unit) ref = ref (fun _ -> ())
 
-(** Resolve variable slots and number allocation sites.  Idempotent; must
-    be called (via {!Program.finalize}) before interpretation. *)
+(** Resolve variable slots and number allocation sites.  Idempotent, and
+    a no-op on an already-finalized kernel: finalization is the only
+    mutation a kernel ever sees, so skipping it keeps finalized programs
+    safe to share read-only across sessions and domains (the engine's
+    compiled-kernel cache relies on this).  Must be called (via
+    {!Program.finalize}) before interpretation. *)
+let is_finalized k = k.nslots >= 0
+
 let finalize (k : t) =
-  let groups = Ast.collect_vars k.params k.body in
+  if is_finalized k then ()
+  else begin
+    let groups = Ast.collect_vars k.params k.body in
   List.iteri
     (fun slot cells -> List.iter (fun (v : Ast.var) -> v.slot <- slot) cells)
     groups;
@@ -57,12 +65,12 @@ let finalize (k : t) =
       | _ -> ())
     ~on_expr:(fun _ -> ());
   k.nsites <- !site;
-  k.typing <-
-    Some
-      (Typing.infer ~params:k.params ~shared:k.shared ~nslots:k.nslots k.body);
-  !finalize_check k
-
-let is_finalized k = k.nslots >= 0
+    k.typing <-
+      Some
+        (Typing.infer ~params:k.params ~shared:k.shared ~nslots:k.nslots
+           k.body);
+    !finalize_check k
+  end
 
 let param_slots (k : t) =
   if not (is_finalized k) then invalid "kernel %s: not finalized" k.kname;

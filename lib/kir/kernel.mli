@@ -40,9 +40,12 @@ val make :
     a no-op.  The hook may raise to reject the kernel. *)
 val finalize_check : (t -> unit) ref
 
-(** Resolve variable slots and number allocation sites.  Idempotent; must
-    be called (via {!Program.finalize}) before interpretation.  Runs
-    {!finalize_check} last. *)
+(** Resolve variable slots and number allocation sites.  Idempotent and a
+    no-op on an already-finalized kernel, so finalized programs are
+    immutable from then on and safe to share read-only across sessions
+    and domains (the engine's compiled-kernel cache relies on this).
+    Must be called (via {!Program.finalize}) before interpretation.  Runs
+    {!finalize_check} last (on the first call only). *)
 val finalize : t -> unit
 
 val is_finalized : t -> bool

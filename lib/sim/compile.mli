@@ -1,0 +1,56 @@
+(** One-time lowering of kernel IR into OCaml closures (the interpreter's
+    fast path).
+
+    The reference walker in {!Interp} re-traverses the AST for every
+    warp x instruction; this module compiles each kernel body once into a
+    tree of closures over a typed per-warp register plane (see the
+    implementation header for the full design).  Semantics are the
+    walker's, charge for charge: both back ends emit byte-identical
+    {!Trace} data, including float accumulation order and error identity.
+
+    A compiled kernel's closures own mutable per-node scratch, so a
+    {!ckernel} may be reused freely across launches, sessions and runs
+    {e within one domain}, but must never execute concurrently in two
+    domains.  The engine's cross-run cache therefore keeps one
+    compilation table per domain. *)
+
+(** A kernel lowered to closures, with its register-plane layout and the
+    inferred parameter storage/types used to vet launch arguments. *)
+type ckernel
+
+(** Lower one finalized kernel.  [None] when the kernel uses something
+    the fast path does not support (every launch of it must then take
+    the reference walker).  Requires {!Dpc_kir.Kernel.finalize} to have
+    run (the cached {!Dpc_kir.Typing} inference is consumed here). *)
+val compile_kernel : Dpc_kir.Kernel.t -> ckernel option
+
+(** Do this launch's runtime argument values agree with the static slot
+    inference the kernel was compiled against?  Rejection falls back to
+    the reference walker for this launch only. *)
+val args_ok : ckernel -> Dpc_gpu.Memory.t -> Dpc_kir.Value.t list -> bool
+
+(** Execute one block of a compiled kernel and return its trace.  The
+    labelled arguments mirror the reference walker's block context;
+    [flush_deep] runs a pending launch immediately (deep drain at
+    [cudaDeviceSynchronize]), [enqueue] defers it to the session's
+    breadth-order queue, [add_alloc_cycles] accumulates allocator cycles
+    on the session. *)
+val exec_block :
+  ckernel ->
+  cfg:Dpc_gpu.Config.t ->
+  mem:Dpc_gpu.Memory.t ->
+  alloc:Dpc_alloc.Allocator.t ->
+  l2_tags:int array ->
+  gid:int ->
+  grid_dim:int ->
+  block_dim:int ->
+  depth:int ->
+  block_idx:int ->
+  args:Dpc_kir.Value.t list ->
+  grid_mallocs:Dpc_kir.Value.t option array ->
+  grid_alloc_count:int ref ->
+  flush_deep:(Runtime.pending_launch -> unit) ->
+  enqueue:(Runtime.pending_launch -> unit) ->
+  add_alloc_cycles:(int -> unit) ->
+  deep:bool ->
+  Trace.block_trace

@@ -24,10 +24,11 @@ type t = {
 }
 
 let create ?(cfg = Cfg.k20c) ?(alloc_kind = Alloc.Pool) ?pool_bytes
-    ?(scheduler = Timing.Processor_sharing) ?grid_budget prog =
+    ?(scheduler = Timing.Processor_sharing) ?grid_budget ?mode ?ckernels
+    prog =
   let alloc = Alloc.create ?pool_bytes alloc_kind in
   {
-    session = Interp.create_session ?grid_budget ~cfg ~alloc prog;
+    session = Interp.create_session ?grid_budget ?mode ?ckernels ~cfg ~alloc prog;
     scheduler;
     cached_report = None;
   }

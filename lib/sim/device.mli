@@ -10,12 +10,18 @@
 
 type t
 
+(** [mode] pins this device's interpreter back end (default: the session
+    default, see {!Interp.set_default_mode}); [ckernels] seeds the
+    kernel-compilation cache table (see {!Interp.create_session} for the
+    sharing contract). *)
 val create :
   ?cfg:Dpc_gpu.Config.t ->
   ?alloc_kind:Dpc_alloc.Allocator.kind ->
   ?pool_bytes:int ->
   ?scheduler:Timing.scheduler ->
   ?grid_budget:int ->
+  ?mode:Interp.mode ->
+  ?ckernels:(string, Compile.ckernel option) Hashtbl.t ->
   Dpc_kir.Kernel.Program.t ->
   t
 

@@ -91,7 +91,7 @@ let dummy_grid : Trace.grid_exec =
   { gid = -1; kernel = ""; grid_dim = 0; block_dim = 0; depth = 0;
     parent = None; blocks = [||] }
 
-let create_session ?(grid_budget = 150_000) ?mode ~cfg ~alloc prog =
+let create_session ?(grid_budget = 150_000) ?mode ?ckernels ~cfg ~alloc prog =
   K.Program.finalize prog;
   {
     cfg;
@@ -106,7 +106,8 @@ let create_session ?(grid_budget = 150_000) ?mode ~cfg ~alloc prog =
     grid_budget;
     fifo = Queue.create ();
     mode = (match mode with Some m -> m | None -> !default_mode_ref);
-    ckernels = Hashtbl.create 16;
+    ckernels =
+      (match ckernels with Some tbl -> tbl | None -> Hashtbl.create 16);
   }
 
 (* --- warp / block execution state -------------------------------------- *)

@@ -51,10 +51,17 @@ type session = {
 (** [create_session ~cfg ~alloc prog] finalizes [prog] and prepares an
     execution session.  [grid_budget] bounds the total number of grids a
     session may execute (a runaway-recursion guard; exceeded raises
-    {!Sim_error}). *)
+    {!Sim_error}).  [ckernels] supplies the compilation-cache table to
+    use instead of a fresh empty one: the engine's cross-run
+    compiled-kernel cache hands the same table (and the same finalized
+    program) to successive sessions in one domain so each kernel lowers
+    at most once per domain.  Compiled closures own mutable scratch, so a
+    given table must never be shared by sessions running concurrently in
+    different domains. *)
 val create_session :
   ?grid_budget:int ->
   ?mode:mode ->
+  ?ckernels:(string, Compile.ckernel option) Hashtbl.t ->
   cfg:Dpc_gpu.Config.t ->
   alloc:Dpc_alloc.Allocator.t ->
   Dpc_kir.Kernel.Program.t ->

@@ -1,0 +1,82 @@
+(** Shared execution primitives of the SIMT interpreter.
+
+    Both interpreter back ends — the reference AST walker in {!Interp} and
+    the compiled closure path in {!Compile} — agree bit-for-bit on lane
+    masks, charge accounting and memory coalescing because they share the
+    primitives below.  Anything that touches a {!Trace.seg_builder} lives
+    here so the two paths cannot drift. *)
+
+exception Sim_error of string
+
+(** Raise {!Sim_error} with a formatted message. *)
+val err : ('a, unit, string, 'b) format4 -> 'a
+
+(** A device-side launch recorded but not yet executed.  Children run when
+    the launching block reaches [cudaDeviceSynchronize] or finishes — a
+    valid CUDA execution order that (unlike depth-first execution at the
+    launch point) lets sibling work complete first, so data-dependent
+    launch chains (e.g. BFS-Rec level improvements) stay near the breadth-
+    first depth instead of the worst-case path length. *)
+type pending_launch = {
+  pl_callee : string;
+  pl_grid : int;
+  pl_block : int;
+  pl_args : Dpc_kir.Value.t list;
+  pl_ids : int array;  (** the Seg_launch id slot to patch at execution *)
+  pl_slot : int;
+  pl_parent : int * int;  (** launching grid id, block idx *)
+  pl_depth : int;  (** nesting depth of the child *)
+}
+
+(** Placeholder element for {!Dpc_util.Vec} of pending launches. *)
+val dummy_pending : pending_launch
+
+(** {2 Scalar operations}
+
+    The dynamically-typed semantics of the IR's operators, shared verbatim
+    by both back ends (the walker applies them per lane; the compiled path
+    falls back to them whenever static types cannot rule out a runtime
+    type error, so error identity and C-style int/float promotion stay
+    exact). *)
+
+val unop_apply : Dpc_kir.Ast.unop -> Dpc_kir.Value.t -> Dpc_kir.Value.t
+
+val both_int : Dpc_kir.Value.t -> Dpc_kir.Value.t -> bool
+
+val binop_apply :
+  Dpc_kir.Ast.binop -> Dpc_kir.Value.t -> Dpc_kir.Value.t -> Dpc_kir.Value.t
+
+(** {2 Lane-mask utilities} *)
+
+(** Population count of a 32-bit mask. *)
+val popcount : int -> int
+
+(** Index of the least-significant set bit of a nonzero 32-bit mask
+    (De Bruijn multiply, constant time). *)
+val lowest_bit : int -> int
+
+(** Apply [f] to each set lane of [mask], lowest first. *)
+val iter_lanes : int -> (int -> unit) -> unit
+
+(** Sub-mask of [mask]'s lanes satisfying the predicate. *)
+val lanes_where : int -> (int -> bool) -> int
+
+(** {2 Charge accounting} *)
+
+(** [charge seg cycles active] charges warp issue cycles with [active]
+    lanes enabled. *)
+val charge : Trace.seg_builder -> int -> int -> unit
+
+(** Coalesce one warp memory instruction: [addrs.(0..n-1)] are the byte
+    addresses touched by active lanes; count the distinct 128B segments
+    and run each through the L2 model.  [seen] is caller-provided dedup
+    scratch of length >= 32 (only the first [n] entries are ever
+    consulted, so it needs no re-initialization between calls). *)
+val account_access :
+  cfg:Dpc_gpu.Config.t ->
+  l2_tags:int array ->
+  seg:Trace.seg_builder ->
+  seen:int array ->
+  int array ->
+  int ->
+  unit

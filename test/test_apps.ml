@@ -60,6 +60,25 @@ let policy_choice_runs (e : R.entry) () =
         (e.R.run ~scale:(small_scale e.R.name) ~policy (H.Cons Pragma.Grid)))
     Dpc.Config_select.[ Kc 1; Kc 16; One_to_one ]
 
+let basic_alloc_honored () =
+  (* Regression: [Harness.prepare] used to drop [~alloc] on the Basic
+     path, silently running the no-DP baseline on the default allocator. *)
+  List.iter
+    (fun v ->
+      let seen = ref "" in
+      let inspect dev =
+        seen :=
+          Dpc_alloc.Allocator.kind_to_string
+            (Dpc_alloc.Allocator.kind (Dpc_sim.Device.allocator dev))
+      in
+      ignore
+        (R.sssp.R.run ~scale:(small_scale R.sssp.R.name)
+           ~alloc:Dpc_alloc.Allocator.Halloc ~inspect v);
+      Alcotest.(check string)
+        (H.variant_to_string v ^ " allocator honored")
+        "halloc" !seen)
+    [ H.Basic; H.Cons Pragma.Grid ]
+
 let variant_cases (e : R.entry) =
   List.map
     (fun v ->
@@ -83,4 +102,6 @@ let suite =
       Alcotest.test_case "SSSP all policies" `Slow (policy_choice_runs R.sssp);
       Alcotest.test_case "TD all policies" `Slow
         (policy_choice_runs R.tree_descendants);
+      Alcotest.test_case "basic variant honors allocator" `Slow
+        basic_alloc_honored;
     ]

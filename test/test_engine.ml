@@ -1,0 +1,228 @@
+(* Engine layer: scenario codecs and identity, session execution,
+   cross-run compiled-kernel cache.
+
+   The determinism tests are the cache's safety net: a cached run reuses
+   the prepared program (and, per domain, the compiled closures) of an
+   earlier run, and must still produce byte-identical metrics and traces
+   to a fresh, cacheless run. *)
+
+module H = Dpc_apps.Harness
+module R = Dpc_apps.Registry
+module M = Dpc_sim.Metrics
+module Pragma = Dpc_kir.Pragma
+module Json = Dpc_prof.Json
+module Scenario = Dpc_engine.Scenario
+module Session = Dpc_engine.Session
+module Kcache = Dpc_engine.Kcache
+
+let scenario_t =
+  Alcotest.testable
+    (fun fmt sc -> Format.pp_print_string fmt (Scenario.to_string sc))
+    Scenario.equal
+
+let report_str (r : M.report) = Json.to_string (M.to_json r)
+
+(* --- codecs ---------------------------------------------------------------- *)
+
+(* String and JSON codecs round-trip every (app x variant) cell of the
+   evaluation matrix. *)
+let codec_roundtrip_matrix () =
+  List.iter
+    (fun (e : R.entry) ->
+      List.iter
+        (fun v ->
+          let sc = Scenario.make ~app:e.R.name v in
+          Alcotest.check scenario_t
+            (Scenario.label sc ^ " of_string/to_string")
+            sc
+            (Scenario.of_string (Scenario.to_string sc));
+          Alcotest.check scenario_t
+            (Scenario.label sc ^ " of_json/to_json")
+            sc
+            (Scenario.of_json (Scenario.to_json sc));
+          Alcotest.(check string)
+            (Scenario.label sc ^ " hash stable")
+            (Scenario.hash sc)
+            (Scenario.hash (Scenario.of_string (Scenario.key sc))))
+        H.all_variants)
+    R.all
+
+(* A scenario with every optional field populated survives both codecs,
+   including config overrides, an explicit policy and app extras. *)
+let codec_roundtrip_rich () =
+  let sc =
+    Scenario.make ~policy:(Dpc.Config_select.Explicit (26, 128))
+      ~alloc:Dpc_alloc.Allocator.Halloc ~cfg:"test-device"
+      ~cfg_overrides:[ ("num_smx", 4); ("device_launch_latency", 2_000) ]
+      ~scale:12 ~seed:99 ~scheduler:Dpc_sim.Timing.Fcfs
+      ~interp:Dpc_sim.Interp.Reference
+      ~extras:[ ("max_nodes", "40000"); ("dataset", "dataset2") ]
+      ~app:"TD" (H.Cons Pragma.Block)
+  in
+  Alcotest.check scenario_t "of_string/to_string" sc
+    (Scenario.of_string (Scenario.to_string sc));
+  Alcotest.check scenario_t "of_json/to_json" sc
+    (Scenario.of_json (Scenario.to_json sc))
+
+(* [make] canonicalizes: app casing, override/extra order — so structural
+   equality coincides with key equality. *)
+let canonical_identity () =
+  let a =
+    Scenario.make ~app:"sssp"
+      ~cfg_overrides:[ ("num_smx", 4); ("issue_rate", 2) ]
+      (H.Cons Pragma.Grid)
+  in
+  let b =
+    Scenario.make ~app:"SSSP"
+      ~cfg_overrides:[ ("issue_rate", 2); ("num_smx", 4) ]
+      (H.Cons Pragma.Grid)
+  in
+  Alcotest.check scenario_t "field order canonicalized" a b;
+  Alcotest.(check string) "keys equal" (Scenario.key a) (Scenario.key b);
+  Alcotest.(check string) "hashes equal" (Scenario.hash a) (Scenario.hash b)
+
+let rejects () =
+  let inv name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  inv "unknown app" (fun () -> Scenario.make ~app:"nope" H.Basic);
+  inv "unknown preset" (fun () ->
+      Scenario.make ~app:"SSSP" ~cfg:"gtx480" H.Basic);
+  inv "unknown cfg field" (fun () ->
+      Scenario.make ~app:"SSSP" ~cfg_overrides:[ ("nope", 1) ] H.Basic);
+  inv "unknown key" (fun () ->
+      Scenario.of_string "app=SSSP,variant=no-dp,bogus=1");
+  inv "bad alloc" (fun () ->
+      Scenario.of_string "app=SSSP,variant=no-dp,alloc=slab");
+  inv "missing app" (fun () -> Scenario.of_string "variant=no-dp");
+  inv "missing variant" (fun () -> Scenario.of_string "app=SSSP")
+
+(* The sweep-file decoder takes bare lists, {"scenarios": ...} objects,
+   and mixes of canonical strings and scenario objects. *)
+let sweep_decode () =
+  let sc = Scenario.make ~app:"SSSP" ~scale:300 (H.Cons Pragma.Grid) in
+  let as_str = Json.String (Scenario.key sc) in
+  let decoded =
+    Scenario.sweep_of_json (Json.List [ as_str; Scenario.to_json sc ])
+  in
+  Alcotest.(check int) "two scenarios" 2 (List.length decoded);
+  List.iter
+    (fun d -> Alcotest.check scenario_t "sweep element" sc d)
+    decoded;
+  let wrapped =
+    Scenario.sweep_of_json (Json.Obj [ ("scenarios", Json.List [ as_str ]) ])
+  in
+  Alcotest.(check int) "wrapped list" 1 (List.length wrapped)
+
+(* --- sessions and the cache ------------------------------------------------ *)
+
+let sssp_grid = Scenario.make ~app:"SSSP" ~scale:400 (H.Cons Pragma.Grid)
+
+(* Same scenario twice in one session: the second run is a cache hit and
+   still reports byte-identical metrics. *)
+let cache_hit_deterministic () =
+  let s = Session.create () in
+  let r1 = Session.run s sssp_grid in
+  let r2 = Session.run s sssp_grid in
+  Alcotest.(check string) "metrics identical across hit" (report_str r1)
+    (report_str r2);
+  let stats = Session.cache_stats s in
+  Alcotest.(check int) "one miss" 1 stats.Kcache.misses;
+  Alcotest.(check int) "one hit" 1 stats.Kcache.hits
+
+(* A cached session and a fresh cacheless session produce byte-identical
+   metrics and Chrome traces for the same scenario. *)
+let fresh_sessions_identical () =
+  let capture () =
+    let trace = ref "" in
+    let inspect _sc dev =
+      let num_smx = (Dpc_sim.Device.config dev).Dpc_gpu.Config.num_smx in
+      trace :=
+        Dpc_prof.Chrome_trace.to_string ~num_smx (Dpc_sim.Device.profile dev)
+    in
+    (trace, inspect)
+  in
+  let trace_a, inspect_a = capture () in
+  let sa = Session.create ~inspect:inspect_a () in
+  (* Warm the cache, then run the scenario we compare (a hit). *)
+  let (_ : M.report) = Session.run sa sssp_grid in
+  let ra = Session.run sa sssp_grid in
+  let trace_b, inspect_b = capture () in
+  let sb = Session.create ~cache:false ~inspect:inspect_b () in
+  let rb = Session.run sb sssp_grid in
+  Alcotest.(check string) "metrics identical across sessions"
+    (report_str ra) (report_str rb);
+  Alcotest.(check bool) "trace captured" true (String.length !trace_a > 0);
+  Alcotest.(check string) "traces identical across sessions" !trace_a
+    !trace_b
+
+(* run_all: outcomes keep submission order, failures are captured without
+   aborting siblings, and the cache counts one miss per program family. *)
+let run_all_outcomes () =
+  let ok1 = Scenario.make ~app:"SSSP" ~scale:300 ~seed:1 (H.Cons Pragma.Grid) in
+  let ok2 = Scenario.make ~app:"SSSP" ~scale:300 ~seed:2 (H.Cons Pragma.Grid) in
+  let bad =
+    Scenario.make ~app:"SSSP" ~scale:300
+      ~extras:[ ("bogus", "1") ]
+      (H.Cons Pragma.Grid)
+  in
+  let s = Session.create () in
+  match Session.run_all s [ ok1; bad; ok2 ] with
+  | [ o1; o_bad; o2 ] ->
+    Alcotest.(check bool) "first ok" true (Result.is_ok o1.Session.result);
+    Alcotest.(check bool) "third ok" true (Result.is_ok o2.Session.result);
+    (match o_bad.Session.result with
+    | Error (Invalid_argument _) -> ()
+    | Error e -> Alcotest.failf "unexpected error %s" (Printexc.to_string e)
+    | Ok _ -> Alcotest.fail "bogus extra accepted");
+    Alcotest.check scenario_t "outcome tags scenario" bad
+      o_bad.Session.scenario
+  | _ -> Alcotest.fail "outcome arity"
+
+(* A mixed sweep through a parallel session: per-family misses, per-run
+   hits, and the same reports as a serial cacheless sweep. *)
+let parallel_sweep_matches_serial () =
+  let scs =
+    List.concat_map
+      (fun scale ->
+        List.map
+          (fun seed ->
+            Scenario.make ~app:"SSSP" ~scale ~seed (H.Cons Pragma.Grid))
+          [ 1; 2 ])
+      [ 300; 400 ]
+    @ [ Scenario.make ~app:"SpMV" ~scale:200 (H.Cons Pragma.Block) ]
+  in
+  let par = Session.create ~jobs:2 () in
+  let ser = Session.create ~cache:false () in
+  let rp = List.map Session.report (Session.run_all par scs) in
+  let rs = List.map Session.report (Session.run_all ser scs) in
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "run %d identical" i)
+        (report_str a) (report_str b))
+    (List.combine rp rs);
+  let stats = Session.cache_stats par in
+  Alcotest.(check int) "two program families" 2 stats.Kcache.misses;
+  Alcotest.(check int) "rest are hits" (List.length scs - 2)
+    stats.Kcache.hits
+
+let suite =
+  [
+    Alcotest.test_case "codec roundtrip apps x variants" `Quick
+      codec_roundtrip_matrix;
+    Alcotest.test_case "codec roundtrip all fields" `Quick
+      codec_roundtrip_rich;
+    Alcotest.test_case "canonical identity" `Quick canonical_identity;
+    Alcotest.test_case "codec rejects" `Quick rejects;
+    Alcotest.test_case "sweep decode" `Quick sweep_decode;
+    Alcotest.test_case "cache hit deterministic" `Quick
+      cache_hit_deterministic;
+    Alcotest.test_case "fresh sessions identical" `Quick
+      fresh_sessions_identical;
+    Alcotest.test_case "run_all outcomes" `Quick run_all_outcomes;
+    Alcotest.test_case "parallel sweep matches serial" `Quick
+      parallel_sweep_matches_serial;
+  ]

@@ -17,6 +17,7 @@ let () =
       ("differential", Test_differential.suite);
       ("free-launch", Test_free_launch.suite);
       ("experiments", Test_experiments.suite);
+      ("engine", Test_engine.suite);
       ("prof", Test_prof.suite);
       ("check", Test_check.suite);
     ]
