@@ -23,10 +23,11 @@
 
    All execution goes through one Dpc_engine.Session: independent
    simulations fan out over OCaml domains (--jobs N; --jobs 1 is the
-   serial path) and runs differing only in scale/seed/allocator share
+   serial path; --sched shared|steal picks the pool's dispatch
+   scheduler) and runs differing only in scale/seed/allocator share
    one program build through the session's compiled-kernel cache.  The
    printed tables — and the JSON and trace files — are byte-identical
-   regardless of the job count and of the cache setting. *)
+   regardless of the job count, the scheduler and the cache setting. *)
 
 open Cmdliner
 module E = Dpc_experiments
@@ -118,8 +119,8 @@ let run_scenarios session ~verbose ~json_out scenario_args sweep_file =
   if List.exists (fun o -> Result.is_error o.Session.result) outcomes then 1
   else 0
 
-let run figures quiet scale jobs json_out trace_dir interp scenario_args
-    sweep_file no_cache =
+let run figures quiet scale jobs sched json_out trace_dir interp
+    scenario_args sweep_file no_cache =
   let verbose = not quiet in
   (match interp with
   | Some m -> Dpc_sim.Interp.set_default_mode m
@@ -131,7 +132,7 @@ let run figures quiet scale jobs json_out trace_dir interp scenario_args
   (* One session for everything this invocation runs: figures and
      scenario sweeps share its pool and compiled-kernel cache. *)
   let session =
-    Session.create ~jobs ~verbose ~cache:(not no_cache) ()
+    Session.create ~jobs ~sched ~verbose ~cache:(not no_cache) ()
   in
   if scenario_args <> [] || sweep_file <> None then (
     try run_scenarios session ~verbose ~json_out scenario_args sweep_file
@@ -151,7 +152,7 @@ let run figures quiet scale jobs json_out trace_dir interp scenario_args
         || json_out <> None || trace_dir <> None
       then
         Some
-          (E.Suite.collect ~verbose ?scale ~jobs ?trace_dir
+          (E.Suite.collect ~verbose ?scale ~jobs ~sched ?trace_dir
              ?session:(if trace_dir = None then Some session else None)
              ())
       else None
@@ -218,6 +219,19 @@ let jobs =
              OCaml domains (default: cores - 1; 1 = serial).  Output \
              tables are byte-identical for any value.")
 
+let pool_sched =
+  let s =
+    Arg.enum
+      [ ("shared", Dpc_util.Pool.Shared); ("steal", Dpc_util.Pool.Steal) ]
+  in
+  Arg.(value & opt s Dpc_util.Pool.Shared & info [ "sched" ] ~docv:"SCHED"
+       ~doc:"Batch dispatch scheduler: $(b,shared) (one atomic counter, \
+             submission order — the default) or $(b,steal) (per-worker \
+             deques seeded longest-first by the scenario cost estimate, \
+             idle workers steal).  Tables, JSON and traces are \
+             byte-identical either way; only wall-clock scheduling \
+             differs.")
+
 let json_out =
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE"
        ~doc:"Write the metrics snapshot as JSON to $(docv): the suite \
@@ -264,7 +278,7 @@ let cmd =
   let doc = "regenerate the paper's evaluation tables and figures" in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(
-      const run $ figures $ quiet $ scale $ jobs $ json_out $ trace_dir
-      $ interp $ scenario_args $ sweep_file $ no_cache)
+      const run $ figures $ quiet $ scale $ jobs $ pool_sched $ json_out
+      $ trace_dir $ interp $ scenario_args $ sweep_file $ no_cache)
 
 let () = exit (Cmd.eval' cmd)

@@ -12,7 +12,7 @@
     findings raise {!Check_error}; warnings pass (the CLI's [--strict]
     flag separately refuses warnings at lint time).  The hook is
     kernel-local: launch legality needs the whole program and is only run
-    by [check_program]. *)
+    by [check_program].  It is also domain-local — see {!with_strict}. *)
 
 module K = Dpc_kir.Kernel
 module Cfg = Dpc_gpu.Config
@@ -58,16 +58,21 @@ let strict_hook cfg (k : K.t) =
   if errors <> [] then raise (Check_error (Diag.sort errors))
 
 let install_strict_finalize ?(cfg = Cfg.k20c) () =
-  K.finalize_check := strict_hook cfg
+  K.set_finalize_check (strict_hook cfg)
 
-let uninstall_strict_finalize () = K.finalize_check := fun _ -> ()
+let uninstall_strict_finalize () = K.set_finalize_check (fun _ -> ())
 
 (** Run [f] with the strict hook installed, restoring the previous hook
-    on the way out. *)
+    on the way out.  The hook is domain-local: [f]'s own finalizations
+    are vetted, but work [f] hands to other domains is not — a parallel
+    executor must call [with_strict] inside each worker task (as
+    [Dpc_engine.Session.run_all] does).  Because the hook state is
+    per-domain, concurrent [with_strict] scopes on different domains
+    save and restore independently. *)
 let with_strict ?cfg f =
-  let saved = !K.finalize_check in
+  let saved = K.finalize_check () in
   install_strict_finalize ?cfg ();
-  Fun.protect ~finally:(fun () -> K.finalize_check := saved) f
+  Fun.protect ~finally:(fun () -> K.set_finalize_check saved) f
 
 (* ------------------------------------------------------------------ *)
 (* Reporting                                                            *)

@@ -391,6 +391,57 @@ let sweep_of_json (j : Json.t) =
   | _ ->
     invalid_arg "sweep JSON: expected a list or {\"scenarios\": [...]}"
 
+(* --- cost model ------------------------------------------------------------ *)
+
+(* Per-scenario cost estimate: effective problem items x per-item app
+   weight x variant weight x interpreter weight.  The weights are seeded
+   from committed profile data — the grid-level cycle counts of
+   ci/experiments_baseline.json at each app's default scale give the
+   per-item app weights, the per-variant cycle ratios' geometric means
+   across the seven apps give the variant weights, and the interpreter
+   ratio is the measured BENCH_pr3.json walker/compiled wall ratio.
+   Simulated cycles track simulator wall time closely enough for
+   scheduling (the interpreter's work is proportional to the work it
+   simulates), and the stealing scheduler only needs relative order:
+   mis-estimates cost balance, never correctness. *)
+
+(* (effective items at scale, per-item weight in baseline cycles).
+   Scale semantics per app: node count for the citeseer-like apps,
+   log2 node count for the kron-based apps, shrink divisor (larger =
+   smaller tree, nominal full tree 16384 nodes) for the tree apps. *)
+let app_cost_model app (scale : int option) =
+  let lin default = float_of_int (Option.value scale ~default) in
+  let exp2 default = Float.of_int (1 lsl Option.value scale ~default) in
+  let shrink default =
+    16384. /. float_of_int (Int.max 1 (Option.value scale ~default))
+  in
+  match app with
+  | "SSSP" -> (lin 3000, 100.)
+  | "SpMV" -> (lin 8000, 17.5)
+  | "PageRank" -> (lin 6000, 99.5)
+  | "GC" -> (exp2 12, 896.)
+  | "BFS-Rec" -> (exp2 12, 21.2)
+  | "TH" | "TD" -> (shrink 4, 29.7)
+  | _ -> (lin 1000, 100.)  (* future apps: a neutral linear guess *)
+
+let variant_weight = function
+  | Harness.Basic -> 9.7
+  | Harness.Flat -> 1.55
+  | Harness.Cons Dpc_kir.Pragma.Warp -> 1.18
+  | Harness.Cons Dpc_kir.Pragma.Block -> 1.02
+  | Harness.Cons Dpc_kir.Pragma.Grid -> 1.0
+
+let interp_weight = function
+  | Some Dpc_sim.Interp.Reference -> 1.61
+  | Some Dpc_sim.Interp.Compiled | None -> 1.0
+
+(** Relative wall-clock estimate of one run, in baseline-cycle units.
+    Only the ordering matters: {!Session.run_all}'s stealing scheduler
+    seeds its deques longest-first by this value. *)
+let cost_estimate t =
+  let items, per_item = app_cost_model t.app t.scale in
+  items *. per_item *. variant_weight t.variant *. interp_weight t.interp
+
 (* --- identity -------------------------------------------------------------- *)
 
 (** Stable identity: the canonical string form. *)

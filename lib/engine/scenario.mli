@@ -72,6 +72,17 @@ val scheduler_of_string : string -> Dpc_sim.Timing.scheduler
 val interp_to_string : Dpc_sim.Interp.mode -> string
 val interp_of_string : string -> Dpc_sim.Interp.mode
 
+(** {2 Cost model} *)
+
+(** Relative wall-clock estimate of the run ([scale x app x variant]
+    weights, plus the interpreter back end's measured ratio), seeded from
+    the committed profile data (the per-app/per-variant cycle counts of
+    [ci/experiments_baseline.json] and the BENCH_pr3 interpreter ratio).
+    {!Session.run_all}'s stealing scheduler orders its deques
+    longest-first by this value; estimates steer scheduling only and
+    never affect results. *)
+val cost_estimate : t -> float
+
 (** {2 Identity} *)
 
 (** Stable identity: the canonical string form. *)

@@ -1,21 +1,25 @@
 (** Scenario execution sessions.
 
-    A session owns a {!Kcache} and a worker-pool width, and executes
-    {!Scenario.t} values through the registry's spec-driven app entry
-    points.  Runs that differ only in scale, seed or allocator share one
-    parse/transform/finalize of their programs (and, per domain, one
-    closure compilation per kernel); every run still gets a fresh device,
-    memory and allocator, so results are byte-identical to uncached runs
-    — which the determinism tests assert.
+    A session owns a {!Kcache}, a worker-pool width and a pool scheduler,
+    and executes {!Scenario.t} values through the registry's spec-driven
+    app entry points.  Runs that differ only in scale, seed or allocator
+    share one parse/transform/finalize of their programs (and, per
+    domain, one closure compilation per kernel); every run still gets a
+    fresh device, memory and allocator, so results are byte-identical to
+    uncached runs — which the determinism tests assert.
 
     {!run_all} is the batch executor the experiment suites sit on: it
     fans the scenario list over a {!Dpc_util.Pool} and returns per-
     scenario outcomes in submission order, capturing per-run exceptions
     (e.g. an infeasible explicit configuration in an exhaustive sweep)
-    instead of failing the batch. *)
+    instead of failing the batch.  Under the {!Dpc_util.Pool.Steal}
+    scheduler the pool seeds its deques longest-first from
+    {!Scenario.cost_estimate}; stealing only reorders wall-clock
+    execution, never outcomes. *)
 
 module Registry = Dpc_apps.Registry
 module Metrics = Dpc_sim.Metrics
+module Pool = Dpc_util.Pool
 
 type outcome = {
   scenario : Scenario.t;
@@ -24,30 +28,36 @@ type outcome = {
 
 type t = {
   cache : Kcache.t option;
-  pool : Dpc_util.Pool.t;
+  pool : Pool.t;
   verbose : bool;
+  verbose_lock : Mutex.t;
   strict_check : bool;
   inspect : (Scenario.t -> Dpc_sim.Device.t -> unit) option;
 }
 
 (** [create ()] builds a session.  [jobs] bounds batch parallelism
-    (default 1: serial); [cache:false] disables program reuse (every run
+    (default 1: serial) and [sched] picks the pool's dispatch scheduler
+    (default [Shared]); [cache:false] disables program reuse (every run
     builds fresh — the baseline the cache benchmark compares against);
     [inspect] runs after each scenario's launches with its device (for
     profiling capture); [strict_check] installs the static verifier's
-    strict finalize hook around batches, so every program a batch builds
-    is vetted. *)
-let create ?(jobs = 1) ?(cache = true) ?(verbose = false) ?inspect
-    ?(strict_check = false) () =
+    strict finalize hook around every run — including, per worker domain,
+    around each task of a batch — so every program a batch builds is
+    vetted. *)
+let create ?(jobs = 1) ?(sched = Pool.Shared) ?(cache = true)
+    ?(verbose = false) ?inspect ?(strict_check = false) () =
   {
     cache = (if cache then Some (Kcache.create ()) else None);
-    pool = Dpc_util.Pool.create ~jobs;
+    pool = Pool.create ~sched ~jobs ();
     verbose;
+    verbose_lock = Mutex.create ();
     strict_check;
     inspect;
   }
 
-let jobs t = Dpc_util.Pool.jobs t.pool
+let jobs t = Pool.jobs t.pool
+let sched t = Pool.sched t.pool
+let last_steals t = Pool.last_steals t.pool
 
 let cache_stats t =
   match t.cache with
@@ -61,32 +71,45 @@ let run_one t (sc : Scenario.t) =
   let spec = Scenario.to_spec ?preparer ?inspect sc in
   entry.Registry.run_spec spec
 
+(* The strict-finalize hook is domain-local, so it must be (re)installed
+   in whichever domain actually builds the program: around the whole call
+   for a single run, around each task for a batch (tasks execute on pool
+   worker domains the submitting domain's hook never reaches). *)
+let wrap_strict t f = if t.strict_check then Dpc_check.Check.with_strict f else f ()
+
 (** Execute one scenario; exceptions propagate. *)
-let run t sc =
-  let wrap f = if t.strict_check then Dpc_check.Check.with_strict f else f () in
-  wrap (fun () -> run_one t sc)
+let run t sc = wrap_strict t (fun () -> run_one t sc)
 
 (** Execute a batch across the session's pool.  Outcomes keep submission
     order; a failing scenario yields [Error] without aborting its
     siblings. *)
 let run_all t (scenarios : Scenario.t list) : outcome list =
   let work sc =
-    let result = try Ok (run_one t sc) with e -> Error e in
+    let result =
+      try Ok (wrap_strict t (fun () -> run_one t sc)) with e -> Error e
+    in
     if t.verbose then begin
-      (* Progress goes to stderr: stdout carries the figure tables. *)
-      (match result with
-      | Ok r ->
-        Printf.eprintf "engine: %-24s %12.0f cycles\n" (Scenario.label sc)
-          r.Metrics.cycles
-      | Error e ->
-        Printf.eprintf "engine: %-24s failed: %s\n" (Scenario.label sc)
-          (Printexc.to_string e));
-      flush stderr
+      (* Progress goes to stderr: stdout carries the figure tables.  One
+         pre-formatted line per outcome, written under a lock: worker
+         domains report concurrently, and an unserialized Printf
+         interleaves *within* lines (the format engine emits piece by
+         piece, and the channel lock only covers each piece). *)
+      let line =
+        match result with
+        | Ok r ->
+          Printf.sprintf "engine: %-24s %12.0f cycles\n" (Scenario.label sc)
+            r.Metrics.cycles
+        | Error e ->
+          Printf.sprintf "engine: %-24s failed: %s\n" (Scenario.label sc)
+            (Printexc.to_string e)
+      in
+      Mutex.protect t.verbose_lock (fun () ->
+          output_string stderr line;
+          flush stderr)
     end;
     { scenario = sc; result }
   in
-  let body () = Dpc_util.Pool.parallel_map t.pool work scenarios in
-  if t.strict_check then Dpc_check.Check.with_strict body else body ()
+  Pool.parallel_map ~cost:Scenario.cost_estimate t.pool work scenarios
 
 (** [report outcome] unwraps, re-raising a captured failure. *)
 let report (o : outcome) =

@@ -13,13 +13,19 @@ type outcome = {
 
 type t
 
-(** [jobs] bounds batch parallelism (default 1); [cache:false] disables
-    program reuse (every run builds fresh); [verbose] prints a line per
-    finished scenario; [inspect] runs after each scenario's launches with
-    its device; [strict_check] installs the static verifier's strict
-    finalize hook around runs and batches. *)
+(** [jobs] bounds batch parallelism (default 1); [sched] picks the
+    batch pool's dispatch scheduler (default [Shared]; [Steal] seeds
+    per-worker deques longest-first from {!Scenario.cost_estimate} and
+    lets idle workers steal — outcomes are identical, only wall-clock
+    scheduling changes); [cache:false] disables program reuse (every run
+    builds fresh); [verbose] prints a line per finished scenario (writes
+    are serialized across worker domains); [inspect] runs after each
+    scenario's launches with its device; [strict_check] installs the
+    static verifier's domain-local strict finalize hook around each run,
+    inside the worker domain that executes it. *)
 val create :
   ?jobs:int ->
+  ?sched:Dpc_util.Pool.sched ->
   ?cache:bool ->
   ?verbose:bool ->
   ?inspect:(Scenario.t -> Dpc_sim.Device.t -> unit) ->
@@ -28,6 +34,12 @@ val create :
   t
 
 val jobs : t -> int
+
+val sched : t -> Dpc_util.Pool.sched
+
+(** Tasks stolen across worker deques during the most recent {!run_all}
+    (0 under the [Shared] scheduler and on the serial path). *)
+val last_steals : t -> int
 
 (** Zero for cacheless sessions. *)
 val cache_stats : t -> Kcache.stats

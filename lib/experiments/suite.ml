@@ -78,12 +78,13 @@ let scenarios ?scale ?(cfg = "k20c") ?(apps = R.all) () =
     [session] reuses a caller-owned {!Session.t} (sharing its
     compiled-kernel cache with other figures); without one — or whenever
     [trace_dir] is set, because the artifact hook is fixed at session
-    creation — a fresh session with [jobs] workers is built here.
+    creation — a fresh session with [jobs] workers (and the [sched] pool
+    scheduler, when given) is built here.
     [trace_dir] profiles every run and writes
     [<app>-<variant>.trace.json] (Chrome trace-event format) and
     [<app>-<variant>.profile.json] (per-kernel summary) there; the files
     are byte-identical for any [jobs]. *)
-let collect ?(verbose = true) ?scale ?(cfg = "k20c") ?(jobs = 1)
+let collect ?(verbose = true) ?scale ?(cfg = "k20c") ?(jobs = 1) ?sched
     ?(apps = R.all) ?trace_dir ?session () : t =
   (match trace_dir with
   | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
@@ -99,7 +100,7 @@ let collect ?(verbose = true) ?scale ?(cfg = "k20c") ?(jobs = 1)
               sc.Scenario.variant dev)
           dir
       in
-      Session.create ~jobs ~verbose ?inspect ()
+      Session.create ~jobs ?sched ~verbose ?inspect ()
   in
   let outcomes = Session.run_all session (scenarios ?scale ~cfg ~apps ()) in
   (* Reassemble per-app rows; [run_all] preserves submission order, so

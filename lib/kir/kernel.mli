@@ -37,8 +37,15 @@ val make :
 (** Hook run on every kernel at the end of {!finalize}.  [Dpc_check]
     installs its strict verifier here so that every finalized kernel is
     statically vetted before it can reach the interpreter; the default is
-    a no-op.  The hook may raise to reject the kernel. *)
-val finalize_check : (t -> unit) ref
+    a no-op.  The hook may raise to reject the kernel.
+
+    The hook is {e domain-local}: {!set_finalize_check} affects only the
+    calling domain.  Executors that fan work out to other domains must
+    install it inside each worker — installing it before spawning vets
+    nothing the workers finalize. *)
+val finalize_check : unit -> t -> unit
+
+val set_finalize_check : (t -> unit) -> unit
 
 (** Resolve variable slots and number allocation sites.  Idempotent and a
     no-op on an already-finalized kernel, so finalized programs are

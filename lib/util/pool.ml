@@ -1,24 +1,157 @@
 (** Domain-based worker pool (see the interface for the contract).
 
-    Implementation notes: tasks are indexed into an array and workers
-    claim indices from a single [Atomic] counter, so scheduling is a
-    work-stealing-free bump — cheap, and fair enough for coarse tasks
-    (each task here is a whole simulation).  Worker domains are spawned
-    per call rather than kept resident: calls are rare and long-lived,
-    and per-call spawning keeps nested/overlapping pools from ever
-    exceeding the machine's domain budget between calls. *)
+    Implementation notes.  Tasks are indexed into an array; [results] /
+    [errors] cells are written by exactly one worker each and read after
+    [Domain.join], so no cell needs to be atomic.  Worker domains are
+    spawned per call rather than kept resident: calls are rare and
+    long-lived, and per-call spawning keeps nested/overlapping pools from
+    ever exceeding the machine's domain budget between calls.
 
-type t = { jobs : int }
+    [Shared] dispatch is the historical single-bump scheduler: one
+    [Atomic] counter, claims in submission order.
 
-let create ~jobs =
+    [Steal] dispatch seeds one {!Wsdeque} per worker.  Task indices are
+    sorted by descending cost estimate (stable: ties keep submission
+    order) and dealt round-robin, pushed so that each deque's {e bottom}
+    — the owner's end — holds its most expensive task: owners drain their
+    deque longest-first (LPT), and a worker whose deque runs dry steals
+    from its neighbours' {e top} ends (their cheapest queued work,
+    round-robin from its own id), which fills idle tails without
+    disturbing the victims' cost order.  Nobody pushes after seeding, so
+    an empty sweep of all deques is a final termination condition. *)
+
+type sched = Shared | Steal
+
+let sched_to_string = function Shared -> "shared" | Steal -> "steal"
+
+let sched_of_string s =
+  match String.lowercase_ascii s with
+  | "shared" -> Shared
+  | "steal" | "work-steal" | "work-stealing" -> Steal
+  | other ->
+    invalid_arg
+      (Printf.sprintf "bad pool scheduler %S (expected shared or steal)"
+         other)
+
+type t = { jobs : int; sched : sched; mutable last_steals : int }
+
+let create ?(sched = Shared) ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs must be >= 1";
-  { jobs }
+  { jobs; sched; last_steals = 0 }
 
 let jobs t = t.jobs
+let sched t = t.sched
+let last_steals t = t.last_steals
 
 let default_jobs () = Int.max 1 (Domain.recommended_domain_count () - 1)
 
-let parallel_map (type a b) t (f : a -> b) (xs : a list) : b list =
+(* One task, recorded: a cell is written before [failed] is raised so the
+   post-join sweep sees every claimed task's fate. *)
+let run_task (type a b) (f : a -> b) tasks (results : b option array)
+    (errors : (exn * Printexc.raw_backtrace) option array) failed i =
+  match f tasks.(i) with
+  | v -> results.(i) <- Some v
+  | exception e ->
+    errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
+    Atomic.set failed true
+
+(* Deterministic failure report.  [failed] is set, so at least one error
+   cell is populated.  Workers fail fast (they stop claiming once
+   [failed] is set), which means a task with a {e lower} index than the
+   lowest recorded failure may never have been claimed — and whether it
+   was claimed depends on timing.  To make the reported error independent
+   of that timing, execute every unclaimed task below the lowest recorded
+   failure, in index order, in the calling domain: the first failure
+   found this way (or the recorded one, if they all succeed) is the
+   lowest-indexed failing task, full stop. *)
+let reraise_lowest (type a b) (f : a -> b) tasks (results : b option array)
+    (errors : (exn * Printexc.raw_backtrace) option array) n =
+  let lowest = ref (n - 1) in
+  for i = n - 1 downto 0 do
+    if errors.(i) <> None then lowest := i
+  done;
+  let i = ref 0 in
+  while !i < !lowest do
+    (if results.(!i) = None && errors.(!i) = None then
+       match f tasks.(!i) with
+       | v -> results.(!i) <- Some v
+       | exception e ->
+         errors.(!i) <- Some (e, Printexc.get_raw_backtrace ());
+         lowest := !i);
+    incr i
+  done;
+  match errors.(!lowest) with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> assert false
+
+(* --- shared-counter dispatch --------------------------------------------- *)
+
+let shared_worker f tasks results errors failed next n _me () =
+  let continue = ref true in
+  while !continue do
+    let i = Atomic.fetch_and_add next 1 in
+    if i >= n || Atomic.get failed then continue := false
+    else run_task f tasks results errors failed i
+  done
+
+(* --- work-stealing dispatch ---------------------------------------------- *)
+
+(* Deal task indices over [w] deques, most expensive first.  Worker [k]'s
+   own deque ends up in descending-cost order bottom-to-top... backwards:
+   we push each worker's share cheapest-first, so [pop_bottom] (the
+   owner's end) yields its most expensive remaining task and [steal_top]
+   yields its cheapest. *)
+let seed_deques ?cost tasks n w =
+  let order = Array.init n Fun.id in
+  (match cost with
+  | None -> ()
+  | Some c ->
+    let costs = Array.map (fun x -> c x) tasks in
+    (* Stable descending sort: ties keep submission order. *)
+    let cmp a b =
+      match Float.compare costs.(b) costs.(a) with
+      | 0 -> Int.compare a b
+      | d -> d
+    in
+    Array.sort cmp order);
+  let deques =
+    Array.init w (fun _ -> Wsdeque.create ~capacity:(2 + (n / w)) ())
+  in
+  (* order.(k) goes to deque (k mod w); walk each share in reverse so the
+     share's most expensive index is pushed last (= sits at the bottom). *)
+  for k = n - 1 downto 0 do
+    Wsdeque.push_bottom deques.(k mod w) order.(k)
+  done;
+  deques
+
+let stealing_worker f tasks results errors failed deques steals w me () =
+  let continue = ref true in
+  while !continue do
+    if Atomic.get failed then continue := false
+    else
+      match Wsdeque.pop_bottom deques.(me) with
+      | Some i -> run_task f tasks results errors failed i
+      | None ->
+        (* Own deque dry: sweep the other deques round-robin from our
+           id.  Since nobody pushes after seeding, finding them all
+           empty means no queued work is left anywhere — stop. *)
+        let stolen = ref None in
+        let v = ref 1 in
+        while !stolen = None && !v < w do
+          stolen := Wsdeque.steal_top deques.((me + !v) mod w);
+          incr v
+        done;
+        (match !stolen with
+        | Some i ->
+          Atomic.incr steals;
+          run_task f tasks results errors failed i
+        | None -> continue := false)
+  done
+
+(* --- entry points ---------------------------------------------------------- *)
+
+let parallel_map (type a b) ?cost t (f : a -> b) (xs : a list) : b list =
+  t.last_steals <- 0;
   match xs with
   | [] -> []
   | _ when t.jobs = 1 -> List.map f xs
@@ -29,36 +162,26 @@ let parallel_map (type a b) t (f : a -> b) (xs : a list) : b list =
     let errors : (exn * Printexc.raw_backtrace) option array =
       Array.make n None
     in
-    let next = Atomic.make 0 in
     let failed = Atomic.make false in
-    let worker () =
-      let continue = ref true in
-      while !continue do
-        let i = Atomic.fetch_and_add next 1 in
-        if i >= n || Atomic.get failed then continue := false
-        else
-          match f tasks.(i) with
-          | v -> results.(i) <- Some v
-          | exception e ->
-            errors.(i) <- Some (e, Printexc.get_raw_backtrace ());
-            Atomic.set failed true
-      done
+    let w = Int.min t.jobs n in
+    let steals = Atomic.make 0 in
+    let worker =
+      match t.sched with
+      | Shared ->
+        let next = Atomic.make 0 in
+        shared_worker f tasks results errors failed next n
+      | Steal ->
+        let deques = seed_deques ?cost tasks n w in
+        stealing_worker f tasks results errors failed deques steals w
     in
-    let spawned = Int.min t.jobs n - 1 in
-    let domains = Array.init spawned (fun _ -> Domain.spawn worker) in
-    worker ();
+    let domains =
+      Array.init (w - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    worker 0 ();
     Array.iter Domain.join domains;
-    if Atomic.get failed then begin
-      (* Deterministic failure: re-raise the lowest-indexed error. *)
-      let first = ref None in
-      for i = n - 1 downto 0 do
-        match errors.(i) with Some _ as e -> first := e | None -> ()
-      done;
-      match !first with
-      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-      | None -> assert false
-    end;
+    t.last_steals <- Atomic.get steals;
+    if Atomic.get failed then reraise_lowest f tasks results errors n;
     List.init n (fun i ->
         match results.(i) with Some v -> v | None -> assert false)
 
-let parallel_iter t f xs = ignore (parallel_map t f xs)
+let parallel_iter ?cost t f xs = ignore (parallel_map ?cost t f xs)

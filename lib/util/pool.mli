@@ -1,10 +1,27 @@
 (** Domain-based worker pool for independent simulation fan-out.
 
-    The experiment harness replays dozens of fully independent
-    simulations (app x variant x allocator/policy cells); this pool runs
-    them across OCaml 5 domains.  Results keep the submission order, so a
-    table assembled from [parallel_map] output is byte-identical to the
-    serial run regardless of the worker count.
+    The experiment harness replays hundreds to thousands of fully
+    independent simulations (app x variant x allocator/policy cells, and
+    1000-scenario sweeps); this pool runs them across OCaml 5 domains.
+    Results keep the submission order, so a table assembled from
+    [parallel_map] output is byte-identical to the serial run regardless
+    of the worker count {e and} of the scheduler.
+
+    Two dispatch schedulers are available:
+
+    - {!Shared}: workers claim task indices from one shared atomic
+      counter, in submission order.  Cheap and fair for uniform tasks,
+      but the submission order decides when expensive tasks start — a
+      sweep that lists its big runs last parks them behind every small
+      one, and the last-claimed big task straggles alone.
+    - {!Steal}: per-worker deques ({!Wsdeque}) seeded longest-first from
+      a caller-supplied cost estimate, with round-robin victim selection
+      when a worker's own deque runs dry.  Expensive tasks start first
+      (LPT order), and idle workers steal queued work from busy ones, so
+      skewed sweeps finish near the greedy-optimal makespan.
+
+    Both schedulers run the same task set to completion and return
+    results in submission order; only wall-clock scheduling differs.
 
     Tasks must be self-contained: each should build its own
     [Dpc_gpu.Memory] / simulator instance and derive any randomness from
@@ -13,13 +30,32 @@
 
 type t
 
-(** [create ~jobs] returns a pool running at most [jobs] tasks
+(** Dispatch scheduler: shared-counter submission order, or per-worker
+    deques with work stealing (see the module description). *)
+type sched = Shared | Steal
+
+val sched_to_string : sched -> string
+
+(** Parses ["shared"] / ["steal"] (case-insensitive).
+    @raise Invalid_argument otherwise. *)
+val sched_of_string : string -> sched
+
+(** [create ~jobs ()] returns a pool running at most [jobs] tasks
     concurrently.  [jobs = 1] is the serial path (no domains are
-    spawned); raises [Invalid_argument] if [jobs < 1]. *)
-val create : jobs:int -> t
+    spawned); raises [Invalid_argument] if [jobs < 1].  [sched] picks the
+    dispatch scheduler (default {!Shared}). *)
+val create : ?sched:sched -> jobs:int -> unit -> t
 
 (** Concurrency bound the pool was created with. *)
 val jobs : t -> int
+
+val sched : t -> sched
+
+(** Number of tasks taken from another worker's deque during the most
+    recent [parallel_map]/[parallel_iter] on this pool.  Always [0] for
+    the {!Shared} scheduler and the serial path.  Read it after the call
+    returns (it is written by the submitting domain on completion). *)
+val last_steals : t -> int
 
 (** [Domain.recommended_domain_count () - 1], clamped to at least 1:
     leave one core for the submitting domain's own work. *)
@@ -27,12 +63,25 @@ val default_jobs : unit -> int
 
 (** [parallel_map t f xs] computes [List.map f xs] using up to [jobs]
     domains (the calling domain participates as a worker).  Results are
-    returned in submission order.  If any task raises, workers stop
-    claiming further tasks and the lowest-indexed exception among the
-    tasks that failed is re-raised with its backtrace (deterministic
-    whenever a single task is at fault). *)
-val parallel_map : t -> ('a -> 'b) -> 'a list -> 'b list
+    returned in submission order.
+
+    [cost] estimates each task's relative duration; the {!Steal}
+    scheduler seeds its deques longest-first from it (ties keep
+    submission order).  The {!Shared} scheduler and the serial path
+    ignore it.  Estimates only steer scheduling — they never change
+    results.
+
+    {b Failure.}  If any task raises, workers stop claiming further tasks
+    (tasks already claimed run to completion), and the error of the
+    {e lowest-indexed failing task} is re-raised with its backtrace.
+    This is deterministic even when several tasks fail concurrently: any
+    task below the lowest recorded failure that was never claimed is
+    executed (serially, in the submitting domain) before reporting, so
+    the reported index never depends on claim timing.  Like the serial
+    path, every task below the reported one has run; unlike the serial
+    path, some tasks above it may also have run. *)
+val parallel_map : ?cost:('a -> float) -> t -> ('a -> 'b) -> 'a list -> 'b list
 
 (** [parallel_iter t f xs] is [parallel_map] for side-effecting tasks;
     same ordering and exception guarantees. *)
-val parallel_iter : t -> ('a -> unit) -> 'a list -> unit
+val parallel_iter : ?cost:('a -> float) -> t -> ('a -> unit) -> 'a list -> unit

@@ -1,0 +1,120 @@
+(** Lock-free Chase–Lev deque (see the interface for the owner/thief
+    contract).
+
+    Layout: the ring is a power-of-two array; logical indices grow
+    upward from [top] (oldest, thief end) to [bottom] (newest, owner
+    end), with element [i] stored at [arr.(i land (len - 1))].
+    [top < bottom] iff the deque is non-empty.
+
+    This is the canonical Chase–Lev protocol.  OCaml's [Atomic]
+    operations are sequentially consistent, which subsumes every fence
+    the published algorithm needs, so the port is direct:
+
+    - The owner pushes and pops at [bottom] with plain loads/stores of
+      its own end; the only synchronization it ever needs is on the
+      {e last} element, where it races thieves with a CAS on [top].
+    - Thieves read [top], check against [bottom], read the slot, and
+      claim it by CAS on [top].  A failed CAS means another party took
+      the element first; the thief retries (that party made progress,
+      so the retry loop is lock-free).
+
+    The ring is published through an [Atomic] so growth (owner-only,
+    like [push_bottom]) swaps in the bigger copy atomically.  A thief
+    holding the old ring is still correct: growth copies elements to
+    the same logical indices, the old ring's live slots are never
+    overwritten afterwards (the owner only writes through the new
+    ring), and a stale [top] fails the CAS. *)
+
+type 'a t = {
+  top : int Atomic.t;  (* index of the oldest element *)
+  bottom : int Atomic.t;  (* one past the newest element *)
+  arr : 'a option array Atomic.t;  (* length always a power of two *)
+}
+
+let create ?(capacity = 64) () =
+  let cap = max 8 capacity in
+  (* Round up to a power of two so masking replaces modulo. *)
+  let cap =
+    let c = ref 8 in
+    while !c < cap do
+      c := !c * 2
+    done;
+    !c
+  in
+  {
+    top = Atomic.make 0;
+    bottom = Atomic.make 0;
+    arr = Atomic.make (Array.make cap None);
+  }
+
+let grow d b t =
+  let old = Atomic.get d.arr in
+  let nbuf = Array.make (2 * Array.length old) None in
+  let m = Array.length old - 1 and nm = Array.length nbuf - 1 in
+  for i = t to b - 1 do
+    nbuf.(i land nm) <- old.(i land m)
+  done;
+  Atomic.set d.arr nbuf
+
+let push_bottom d x =
+  let b = Atomic.get d.bottom and t = Atomic.get d.top in
+  let a = Atomic.get d.arr in
+  let a =
+    if b - t >= Array.length a then begin
+      grow d b t;
+      Atomic.get d.arr
+    end
+    else a
+  in
+  a.(b land (Array.length a - 1)) <- Some x;
+  Atomic.set d.bottom (b + 1)
+
+let pop_bottom d =
+  let b = Atomic.get d.bottom - 1 in
+  (* Claim the bottom slot first; the SC store orders against the [top]
+     load below, so a concurrent thief either sees our claim or we see
+     its increment — the single-element race then goes through the CAS. *)
+  Atomic.set d.bottom b;
+  let t = Atomic.get d.top in
+  if b < t then begin
+    (* Empty: undo the claim. *)
+    Atomic.set d.bottom t;
+    None
+  end
+  else begin
+    let a = Atomic.get d.arr in
+    let i = b land (Array.length a - 1) in
+    let x = a.(i) in
+    if b > t then begin
+      a.(i) <- None;
+      x
+    end
+    else begin
+      (* Last element: race any thief for it via [top]. *)
+      let won = Atomic.compare_and_set d.top t (t + 1) in
+      Atomic.set d.bottom (t + 1);
+      if won then begin
+        a.(i) <- None;
+        x
+      end
+      else None
+    end
+  end
+
+let rec steal_top d =
+  let t = Atomic.get d.top in
+  let b = Atomic.get d.bottom in
+  if t >= b then None
+  else begin
+    let a = Atomic.get d.arr in
+    let x = a.(t land (Array.length a - 1)) in
+    if Atomic.compare_and_set d.top t (t + 1) then x
+    else
+      (* Lost the race to another thief (or the owner's last-element
+         pop) — they made progress, so retrying is lock-free. *)
+      steal_top d
+  end
+
+let length d = max 0 (Atomic.get d.bottom - Atomic.get d.top)
+
+let is_empty d = length d = 0

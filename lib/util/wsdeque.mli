@@ -1,0 +1,41 @@
+(** Per-worker double-ended work queue for the stealing scheduler.
+
+    One deque belongs to one domain at a time (its {e owner}); every
+    other domain is a potential {e thief}.  The owner works at the
+    bottom end ([push_bottom] / [pop_bottom]); thieves take from the top
+    end ([steal_top]).  This is a lock-free Chase–Lev deque: owner
+    operations are plain loads/stores of the owner's end plus one CAS
+    race on the very last element, thieves claim elements by CAS — no
+    mutex, so a preempted worker can never block another one (the pool
+    oversubscribes domains over cores, where lock convoys would
+    otherwise show up as tail latency).
+
+    Ownership may be handed off between domains across a happens-before
+    edge (the pool seeds every deque in the submitting domain before
+    [Domain.spawn]ing the workers that own them). *)
+
+type 'a t
+
+(** An empty deque.  [capacity] pre-sizes the ring (it grows on demand). *)
+val create : ?capacity:int -> unit -> 'a t
+
+(** Owner end: push under the bottom of the deque.  Owner-only (at most
+    one domain may push or pop concurrently; see the handoff note
+    above). *)
+val push_bottom : 'a t -> 'a -> unit
+
+(** Owner end: take back the most recently pushed element.
+    [None] when empty.  Owner-only. *)
+val pop_bottom : 'a t -> 'a option
+
+(** Thief end: take the oldest element, from any domain.  [None] means
+    {e empty}, never a lost race (lost CAS races retry internally) —
+    which is final for seeded (non-spawning) workloads, since only the
+    owner adds elements and the pool seeds every deque before workers
+    start. *)
+val steal_top : 'a t -> 'a option
+
+(** Snapshot size; racing operations may change it immediately. *)
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -209,6 +209,85 @@ let parallel_sweep_matches_serial () =
   Alcotest.(check int) "rest are hits" (List.length scs - 2)
     stats.Kcache.hits
 
+(* The stealing scheduler at a different job count must be invisible in
+   the results: outcomes keep submission order and every report is
+   byte-identical to a serial, cacheless session's.  The sweep mixes
+   apps and scales so the cost estimates genuinely differ. *)
+let steal_sweep_matches_serial () =
+  let scs =
+    List.concat_map
+      (fun scale ->
+        List.map
+          (fun seed ->
+            Scenario.make ~app:"SSSP" ~scale ~seed (H.Cons Pragma.Grid))
+          [ 1; 2 ])
+      [ 300; 400 ]
+    @ [
+        Scenario.make ~app:"SpMV" ~scale:200 (H.Cons Pragma.Block);
+        Scenario.make ~app:"GC" ~scale:8 (H.Cons Pragma.Warp);
+      ]
+  in
+  let steal = Session.create ~jobs:3 ~sched:Dpc_util.Pool.Steal () in
+  let ser = Session.create ~cache:false () in
+  let op = Session.run_all steal scs in
+  let os = Session.run_all ser scs in
+  List.iteri
+    (fun i (o, sc) ->
+      Alcotest.check scenario_t
+        (Printf.sprintf "outcome %d keeps submission order" i)
+        sc o.Session.scenario)
+    (List.combine op scs);
+  List.iteri
+    (fun i (a, b) ->
+      Alcotest.(check string)
+        (Printf.sprintf "run %d identical under stealing" i)
+        (report_str (Session.report a))
+        (report_str (Session.report b)))
+    (List.combine op os);
+  Alcotest.(check string) "session reports its scheduler" "steal"
+    (Dpc_util.Pool.sched_to_string (Session.sched steal))
+
+(* strict_check with jobs > 1: the strict finalize hook is domain-local,
+   so it must be (and is) installed around each task inside the worker
+   domains — a program built by a worker is vetted there.  The [inspect]
+   hook runs inside the task, in the worker, so finalizing a broken
+   kernel from it stands in for a worker-built bad program (every
+   registry app is lint-clean).  Afterwards the submitting domain's hook
+   must be back to the default. *)
+let strict_check_parallel_workers () =
+  let bad () =
+    let open Dpc_kir.Build in
+    kernel ~name:"strict_bad" ~params:[ p "n" ]
+      [ if_then (tid <: v "n") [ sync ] ]
+  in
+  let inspect (sc : Scenario.t) _dev =
+    if sc.Scenario.seed = Some 2 then Dpc_kir.Kernel.finalize (bad ())
+  in
+  let seeds = [ 1; 2; 3; 4 ] in
+  let scs =
+    List.map
+      (fun seed ->
+        Scenario.make ~app:"SSSP" ~scale:300 ~seed (H.Cons Pragma.Grid))
+      seeds
+  in
+  let s = Session.create ~strict_check:true ~jobs:2 ~inspect () in
+  let outcomes = Session.run_all s scs in
+  List.iter2
+    (fun seed (o : Session.outcome) ->
+      match o.Session.result with
+      | Ok _ ->
+        if seed = 2 then
+          Alcotest.fail "bad kernel passed strict finalize in a worker"
+      | Error (Dpc_check.Check.Check_error _) ->
+        Alcotest.(check int) "only seed 2 flagged" 2 seed
+      | Error e ->
+        Alcotest.failf "seed %d: unexpected error %s" seed
+          (Printexc.to_string e))
+    seeds outcomes;
+  (* The hook is per-task: after run_all the submitting domain is back to
+     the permissive default, so the same kernel finalizes fine. *)
+  Dpc_kir.Kernel.finalize (bad ())
+
 let suite =
   [
     Alcotest.test_case "codec roundtrip apps x variants" `Quick
@@ -225,4 +304,8 @@ let suite =
     Alcotest.test_case "run_all outcomes" `Quick run_all_outcomes;
     Alcotest.test_case "parallel sweep matches serial" `Quick
       parallel_sweep_matches_serial;
+    Alcotest.test_case "steal sweep matches serial" `Quick
+      steal_sweep_matches_serial;
+    Alcotest.test_case "strict check inside workers" `Quick
+      strict_check_parallel_workers;
   ]
