@@ -719,20 +719,290 @@ let bench_cache_sweep ~out () =
     (fun () -> output_string oc (Json.to_string_pretty j));
   Printf.printf "bench: cache sweep -> %s\n" out
 
+(* --- 5. the serve-daemon sweep (BENCH_pr7.json) ---------------------------- *)
+
+(* Two consolidation effects of the serve path:
+
+   (a) one warm daemon vs N independent CLI invocations.  The baseline
+       forks and execs the real `experiments` binary once per request —
+       what a script loop costs: a process start, a runtime init and
+       every program build, per request.  Against it, N sequential
+       in-process clients of one dpcd instance over the Unix socket: the
+       first client fills the cache, every later one rides it.  Client
+       walls include the full socket round trip, so the speedup is
+       end-to-end, not cache-counter arithmetic.
+
+   (b) cold-process warm start from the on-disk store: a fresh session
+       with a populated --cache-dir loads prepared programs instead of
+       building them — the cold-start path of both dpcd and
+       `experiments --cache-dir`.  Program preparation in this simulator
+       is sub-millisecond per family, so the wall-clock effect is
+       deliberately measured on the widest build surface there is (every
+       app x variant family at minimal problem scale) and stays modest;
+       the store's value is that the warm start is byte-identical, not
+       that builds were expensive to begin with.
+
+   Both sides of both comparisons must produce byte-identical outcome
+   records; the bench fails loudly if they do not. *)
+
+module Serve_server = Dpc_serve.Server
+module Serve_client = Dpc_serve.Client
+
+let mk_temp_dir prefix =
+  let path = Filename.temp_file prefix "" in
+  Sys.remove path;
+  Unix.mkdir path 0o700;
+  path
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | exception Unix.Unix_error _ -> ()
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Sys.remove path with Sys_error _ -> ())
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let mean = function
+  | [] -> 0.
+  | l -> List.fold_left ( +. ) 0. l /. float_of_int (List.length l)
+
+let outcome_strings outs =
+  List.map
+    (fun o -> Json.to_string (Dpc_experiments.Export.outcome_json o))
+    outs
+
+(* The per-request workload of comparison (a): the small interactive
+   request shape dpcd exists for — a handful of short runs where a CLI
+   invocation's process start and builds rival the simulations. *)
+let serve_request_scenarios =
+  [
+    Scenario.make ~app:"SpMV" ~scale:20 (H.Cons Pragma.Block);
+    Scenario.make ~app:"SpMV" ~scale:20 warp;
+    Scenario.make ~app:"GC" ~scale:2 grid;
+  ]
+
+(* The widest build surface for comparison (b): one scenario per
+   (app x variant) program family, at each app's minimal sensible
+   scale so preparation is as large a fraction of the wall as this
+   simulator allows. *)
+let serve_family_sweep =
+  let min_scale = function
+    | "GC" | "BFS-Rec" -> 2
+    | "TH" | "TD" -> 64
+    | _ -> 50
+  in
+  List.concat_map
+    (fun (e : Dpc_apps.Registry.entry) ->
+      let app = e.Dpc_apps.Registry.name in
+      List.map
+        (fun v -> Scenario.make ~app ~scale:(min_scale app) v)
+        [ H.Basic; grid; H.Cons Pragma.Block; warp ])
+    Dpc_apps.Registry.all
+
+(* Fork+exec one real CLI invocation, stdout/stderr to /dev/null. *)
+let run_process argv =
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  let pid =
+    Unix.create_process argv.(0) argv Unix.stdin devnull devnull
+  in
+  let _, status = Unix.waitpid [] pid in
+  Unix.close devnull;
+  match status with
+  | Unix.WEXITED 0 -> ()
+  | _ -> failwith ("serve sweep: CLI invocation failed: " ^ argv.(0))
+
+let sweep_records_of_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match Json.member "runs" (Json.parse text) with
+  | Some (Json.List rs) -> List.map Json.to_string rs
+  | _ -> failwith ("serve sweep: no runs in " ^ path)
+
+let bench_serve_sweep ~out () =
+  let req = serve_request_scenarios in
+  let n_clients = 6 in
+  let expect =
+    outcome_strings (Session.run_all (Session.create ~jobs:1 ()) req)
+  in
+  let dir = mk_temp_dir "dpc-serve-bench" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  (* (a) N independent CLI invocations of the request... *)
+  let exe =
+    Filename.concat
+      (Filename.dirname Sys.executable_name)
+      (Filename.concat ".." (Filename.concat "bin" "experiments.exe"))
+  in
+  if not (Sys.file_exists exe) then
+    failwith ("serve sweep: experiments binary not found at " ^ exe);
+  let sweep_file = Filename.concat dir "request.json" in
+  let oc = open_out sweep_file in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc
+        (Json.to_string
+           (Json.Obj
+              [
+                ( "scenarios",
+                  Json.List
+                    (List.map (fun sc -> Json.String (Scenario.key sc)) req)
+                );
+              ])));
+  let cli_walls =
+    List.init n_clients (fun i ->
+        let out_json = Filename.concat dir (Printf.sprintf "cli%d.json" i) in
+        let (), dt =
+          wall (fun () ->
+              run_process
+                [| exe; "--sweep"; sweep_file; "--json"; out_json; "-q" |])
+        in
+        if sweep_records_of_file out_json <> expect then
+          failwith "serve sweep: CLI metrics diverged";
+        dt)
+  in
+  (* ... vs N sequential in-process clients of one warm daemon. *)
+  let sock = Filename.concat dir "d.sock" in
+  let server = Serve_server.create (Serve_server.config sock) in
+  let dom = Domain.spawn (fun () -> Serve_server.run server) in
+  let client_walls, server_stats =
+    Fun.protect
+      ~finally:(fun () ->
+        Serve_server.request_stop server;
+        Domain.join dom)
+      (fun () ->
+        let walls =
+          List.init n_clients (fun _ ->
+              let records, dt =
+                wall (fun () ->
+                    Serve_client.with_connection sock (fun c ->
+                        match Serve_client.sweep c req with
+                        | Error e -> failwith ("serve sweep: " ^ e)
+                        | Ok r ->
+                          List.map Json.to_string r.Serve_client.outcomes))
+              in
+              if records <> expect then
+                failwith "serve sweep: served metrics diverged";
+              dt)
+        in
+        let stats =
+          Serve_client.with_connection sock (fun c ->
+              match Serve_client.stats c with
+              | Ok j -> j
+              | Error e -> failwith ("serve sweep: stats: " ^ e))
+        in
+        (walls, stats))
+  in
+  let first_client = List.hd client_walls in
+  let warm_clients = List.tl client_walls in
+  let cli_mean = mean cli_walls and warm_mean = mean warm_clients in
+  let warm_speedup = cli_mean /. warm_mean in
+  Printf.printf
+    "=== serve sweep: %d-scenario request x %d clients ===\n\
+    \  CLI invocation %.4f s (mean of %d)   first client %.4f s   warm \
+     client %.4f s (mean of %d)   speedup %.2fx\n"
+    (List.length req) n_clients cli_mean n_clients first_client warm_mean
+    (List.length warm_clients) warm_speedup;
+  (* (b) cold-process warm start from a populated on-disk store, over
+     every program family. *)
+  let fam = serve_family_sweep in
+  let fam_expect =
+    outcome_strings (Session.run_all (Session.create ~jobs:1 ()) fam)
+  in
+  let store = Filename.concat dir "cache" in
+  ignore (Session.run_all (Session.create ~jobs:1 ~persist:store ()) fam);
+  let reps = 5 in
+  let best mk =
+    let b = ref infinity in
+    for _ = 1 to reps do
+      let outs, dt = wall (fun () -> Session.run_all (mk ()) fam) in
+      if outcome_strings outs <> fam_expect then
+        failwith "serve sweep: warm-start metrics diverged";
+      if dt < !b then b := dt
+    done;
+    !b
+  in
+  let cold_start = best (fun () -> Session.create ~jobs:1 ()) in
+  let warm_start = best (fun () -> Session.create ~jobs:1 ~persist:store ()) in
+  let disk_speedup = cold_start /. warm_start in
+  Printf.printf
+    "  disk warm start over %d families: cold %.4f s   warm %.4f s   \
+     speedup %.2fx (best of %d; metrics byte-identical)\n\n"
+    (List.length fam) cold_start warm_start disk_speedup reps;
+  let j =
+    Json.Obj
+      [
+        ("schema", Json.String "dpc-serve-bench-v1");
+        ("source", Json.String "bench/main.exe --serve-sweep");
+        ( "method",
+          Json.String
+            "(a) wall of N fork+exec'd `experiments --sweep` invocations \
+             (process start + runtime init + builds, per request) vs N \
+             sequential in-process dpcd clients over one Unix socket, warm \
+             mean excluding the first (cache-filling) client; (b) \
+             fresh-session wall over every app x variant family at minimal \
+             scale, cold vs with a populated --cache-dir store, best of \
+             reps.  Program preparation is sub-millisecond per family in \
+             this simulator, so (b) stays modest by construction.  All \
+             record streams byte-identical." );
+        ( "request",
+          Json.Obj
+            [
+              ("scenarios", Json.Int (List.length req));
+              ("clients", Json.Int n_clients);
+              ( "cli_wall_s",
+                Json.List (List.map (fun s -> Json.Float s) cli_walls) );
+              ( "client_wall_s",
+                Json.List (List.map (fun s -> Json.Float s) client_walls) );
+              ("cli_mean_s", Json.Float cli_mean);
+              ("first_client_s", Json.Float first_client);
+              ("warm_client_mean_s", Json.Float warm_mean);
+              ("warm_speedup", Json.Float warm_speedup);
+              ("server_stats", server_stats);
+            ] );
+        ( "disk_cache",
+          Json.Obj
+            [
+              ("families", Json.Int (List.length fam));
+              ("reps", Json.Int reps);
+              ("cold_start_wall_s", Json.Float cold_start);
+              ("warm_start_wall_s", Json.Float warm_start);
+              ("warm_start_speedup", Json.Float disk_speedup);
+            ] );
+        ("identical_metrics", Json.Bool true);
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string_pretty j));
+  Printf.printf "bench: serve sweep -> %s\n" out
+
 let () =
   (* --smoke: the reduced CI run — bechamel rows at a small quota, no
      ablation sweeps.  --cache-sweep: only the compiled-kernel cache
-     sweep.  --sched-sweep: only the pool-scheduler sweep.  Default:
-     full microbenchmarks + ablations + both sweeps. *)
+     sweep.  --sched-sweep: only the pool-scheduler sweep.
+     --serve-sweep: only the serve-daemon sweep.  Default: full
+     microbenchmarks + ablations + all sweeps. *)
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let cache_only = Array.exists (( = ) "--cache-sweep") Sys.argv in
   let sched_only = Array.exists (( = ) "--sched-sweep") Sys.argv in
+  let serve_only = Array.exists (( = ) "--serve-sweep") Sys.argv in
   if smoke then begin
     run_bechamel ~quota:0.05 ();
     print_endline "bench: smoke done"
   end
   else if cache_only then bench_cache_sweep ~out:"BENCH_pr5.json" ()
   else if sched_only then bench_sched_sweep ~out:"BENCH_pr6.json" ()
+  else if serve_only then bench_serve_sweep ~out:"BENCH_pr7.json" ()
   else begin
     (* Microbenchmarks stay serial (they measure wall time); the ablation
        sweeps fan out over the shared session's domains. *)
@@ -747,5 +1017,6 @@ let () =
     ablation_free_launch ();
     bench_sched_sweep ~out:"BENCH_pr6.json" ();
     bench_cache_sweep ~out:"BENCH_pr5.json" ();
+    bench_serve_sweep ~out:"BENCH_pr7.json" ();
     print_endline "bench: done (see bin/experiments.exe for the paper figures)"
   end

@@ -120,7 +120,7 @@ let run_scenarios session ~verbose ~json_out scenario_args sweep_file =
   else 0
 
 let run figures quiet scale jobs sched json_out trace_dir interp
-    scenario_args sweep_file no_cache =
+    scenario_args sweep_file no_cache cache_dir =
   let verbose = not quiet in
   (match interp with
   | Some m -> Dpc_sim.Interp.set_default_mode m
@@ -132,7 +132,8 @@ let run figures quiet scale jobs sched json_out trace_dir interp
   (* One session for everything this invocation runs: figures and
      scenario sweeps share its pool and compiled-kernel cache. *)
   let session =
-    Session.create ~jobs ~sched ~verbose ~cache:(not no_cache) ()
+    Session.create ~jobs ~sched ~verbose ~cache:(not no_cache)
+      ?persist:cache_dir ()
   in
   if scenario_args <> [] || sweep_file <> None then (
     try run_scenarios session ~verbose ~json_out scenario_args sweep_file
@@ -274,11 +275,20 @@ let no_cache =
              every run parses, transforms and finalizes its programs \
              from scratch.  Results are identical either way.")
 
+let cache_dir =
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR"
+       ~doc:"Back the compiled-kernel cache with the persistent on-disk \
+             store rooted at $(docv) (created if absent): prepared \
+             programs survive across invocations, so cold processes \
+             start warm.  Results are identical either way.  Ignored \
+             with $(b,--no-cache).")
+
 let cmd =
   let doc = "regenerate the paper's evaluation tables and figures" in
   Cmd.v (Cmd.info "experiments" ~doc)
     Term.(
       const run $ figures $ quiet $ scale $ jobs $ pool_sched $ json_out
-      $ trace_dir $ interp $ scenario_args $ sweep_file $ no_cache)
+      $ trace_dir $ interp $ scenario_args $ sweep_file $ no_cache
+      $ cache_dir)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,6 +11,11 @@ committed baseline (ci/experiments_baseline.json):
             leaf must be equal.  Used in CI to diff the compiled
             interpreter back end against the reference walker, where
             the tentpole invariant is byte-identical metrics.
+  --ignore KEY
+            skip a key (anywhere in the tree) in both documents, for
+            members that legitimately differ between producers — e.g.
+            the "source" tag when diffing a dpc-client snapshot against
+            an `experiments --sweep` one.  Repeatable.
 
 Exit code 0 on success, 1 with a path-qualified report on mismatch.
 """
@@ -20,25 +25,27 @@ import json
 import sys
 
 
-def walk(base, fresh, path, errors, exact):
+def walk(base, fresh, path, errors, exact, ignore):
     if type(base) is not type(fresh):
         errors.append(
             f"{path}: type {type(base).__name__} -> {type(fresh).__name__}")
         return
     if isinstance(base, dict):
-        missing = sorted(set(base) - set(fresh))
-        added = sorted(set(fresh) - set(base))
+        bkeys = set(base) - ignore
+        fkeys = set(fresh) - ignore
+        missing = sorted(bkeys - fkeys)
+        added = sorted(fkeys - bkeys)
         if missing:
             errors.append(f"{path}: missing keys {missing}")
         if added:
             errors.append(f"{path}: unexpected keys {added}")
-        for k in sorted(set(base) & set(fresh)):
-            walk(base[k], fresh[k], f"{path}.{k}", errors, exact)
+        for k in sorted(bkeys & fkeys):
+            walk(base[k], fresh[k], f"{path}.{k}", errors, exact, ignore)
     elif isinstance(base, list):
         if len(base) != len(fresh):
             errors.append(f"{path}: length {len(base)} -> {len(fresh)}")
         for i, (b, f) in enumerate(zip(base, fresh)):
-            walk(b, f, f"{path}[{i}]", errors, exact)
+            walk(b, f, f"{path}[{i}]", errors, exact, ignore)
     elif exact and base != fresh:
         errors.append(f"{path}: value {base!r} -> {fresh!r}")
 
@@ -49,6 +56,9 @@ def main():
     ap.add_argument("fresh")
     ap.add_argument("--exact", action="store_true",
                     help="require equal leaf values, not just equal shape")
+    ap.add_argument("--ignore", action="append", default=[], metavar="KEY",
+                    help="skip this object key anywhere in both documents "
+                         "(repeatable)")
     args = ap.parse_args()
 
     with open(args.baseline) as fh:
@@ -57,7 +67,7 @@ def main():
         fresh = json.load(fh)
 
     errors = []
-    walk(base, fresh, "$", errors, args.exact)
+    walk(base, fresh, "$", errors, args.exact, frozenset(args.ignore))
     if errors:
         kind = "exact" if args.exact else "schema"
         print(f"metrics {kind} check FAILED ({len(errors)} mismatches):")

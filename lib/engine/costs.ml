@@ -1,0 +1,76 @@
+(** Session-local online cost learning.
+
+    {!Scenario.cost_estimate} is a static model fit from committed
+    profile data; it seeds the {!Dpc_util.Pool.Steal} scheduler's deques
+    longest-first.  Once a session has actually executed a scenario,
+    its measured wall clock is a strictly better predictor for the next
+    run of the same scenario — a second sweep should seed from what the
+    first sweep observed.
+
+    The two quantities live in different units (static estimates are
+    baseline-cycle units, observations are seconds), and a sweep
+    usually mixes observed and never-seen scenarios, so raw values are
+    not comparable.  The table therefore learns a single calibration
+    ratio — the running sum of static estimates over the running sum of
+    observed seconds, i.e. "estimate units per second" — and scores an
+    observed scenario as [ema_seconds * calibration].  Observed and
+    unobserved scenarios then rank on one scale: mis-calibration only
+    shifts the observed population as a whole, while their relative
+    order follows the measured times.
+
+    Repeated observations of one key blend with an exponential moving
+    average (alpha 1/2), so a one-off scheduling hiccup decays instead
+    of sticking forever.
+
+    All entry points are thread-safe (one mutex); estimates never
+    change results, only the stealing scheduler's seeding order. *)
+
+type t = {
+  lock : Mutex.t;
+  observed : (string, float) Hashtbl.t;  (** key -> EMA of seconds *)
+  mutable sum_static : float;  (** static estimate mass of all records *)
+  mutable sum_seconds : float;  (** observed seconds mass of all records *)
+  mutable records : int;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    observed = Hashtbl.create 64;
+    sum_static = 0.;
+    sum_seconds = 0.;
+    records = 0;
+  }
+
+let ema_alpha = 0.5
+
+(** Record one finished run: its scenario [key], the [static] estimate
+    the run would have been seeded with, and its measured wall-clock
+    [seconds].  Non-finite or non-positive durations are discarded (a
+    clock glitch must not poison the table). *)
+let record t ~key ~static ~seconds =
+  if Float.is_finite seconds && seconds > 0. && Float.is_finite static then
+    Mutex.protect t.lock (fun () ->
+        let blended =
+          match Hashtbl.find_opt t.observed key with
+          | None -> seconds
+          | Some prev -> ((1. -. ema_alpha) *. prev) +. (ema_alpha *. seconds)
+        in
+        Hashtbl.replace t.observed key blended;
+        t.sum_static <- t.sum_static +. Float.max 0. static;
+        t.sum_seconds <- t.sum_seconds +. seconds;
+        t.records <- t.records + 1)
+
+(** Number of distinct scenario keys with an observation. *)
+let observations t =
+  Mutex.protect t.lock (fun () -> Hashtbl.length t.observed)
+
+(** Cost estimate for [key]: the calibrated observation when one exists,
+    else the [static] fallback — both on the static model's scale. *)
+let estimate t ~key ~static =
+  Mutex.protect t.lock (fun () ->
+      match Hashtbl.find_opt t.observed key with
+      | None -> static
+      | Some seconds ->
+        if t.sum_seconds > 0. then seconds *. (t.sum_static /. t.sum_seconds)
+        else static)

@@ -1,0 +1,26 @@
+(** Session-local online cost learning for the stealing scheduler.
+
+    Records each finished run's measured wall clock and scores future
+    runs of the same scenario from the observation instead of the
+    static {!Scenario.cost_estimate} model.  Observed seconds are
+    rescaled onto the static model's unit through a learned calibration
+    ratio (sum of static estimates / sum of observed seconds), so
+    observed and never-seen scenarios rank on one scale.  Thread-safe;
+    estimates steer {!Dpc_util.Pool.Steal} seeding only and never
+    change results. *)
+
+type t
+
+val create : unit -> t
+
+(** Record one finished run: scenario [key], the [static] estimate it
+    ranked with, measured [seconds].  Repeats blend with an exponential
+    moving average; non-finite or non-positive durations are ignored. *)
+val record : t -> key:string -> static:float -> seconds:float -> unit
+
+(** Distinct scenario keys with an observation. *)
+val observations : t -> int
+
+(** The calibrated observation for [key] when one exists, else
+    [static]. *)
+val estimate : t -> key:string -> static:float -> float

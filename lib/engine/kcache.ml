@@ -15,31 +15,61 @@
       session in turn: each kernel lowers at most once per domain per
       scenario family, instead of once per run.
 
+    A cache may additionally be backed by a persistent on-disk
+    {!Pstore}: an in-memory miss first tries to load the prepared
+    program a previous process serialized under the same key (a
+    {e disk hit} — the parse/transform/finalize pipeline is skipped,
+    the program merely unmarshalled), and a fresh build is written back
+    atomically so the next cold process starts warm.  Disk contents are
+    an accelerator only: any stale, truncated or corrupt file degrades
+    to an ordinary miss.  Note that a disk-loaded program was vetted by
+    the strict finalize hook of the process that {e built} it; loading
+    does not re-run finalize-time checks.
+
     Hit/miss counters are cache-level atomics; a "hit" means a run
-    skipped the parse/transform/finalize pipeline entirely. *)
+    skipped the parse/transform/finalize pipeline by finding the
+    program in memory, a "disk hit" that it was loaded from the
+    persistent store instead of built. *)
 
 module Harness = Dpc_apps.Harness
 
-type stats = { hits : int; misses : int }
+type stats = {
+  hits : int;  (** in-memory: build pipeline skipped entirely *)
+  misses : int;  (** built fresh (and persisted, when backed by disk) *)
+  disk_hits : int;  (** loaded from the persistent store *)
+  disk_writes : int;  (** fresh builds serialized to the store *)
+}
+
+let zero_stats = { hits = 0; misses = 0; disk_hits = 0; disk_writes = 0 }
 
 type t = {
   id : int;  (** distinguishes cache instances inside the per-domain DLS *)
   lock : Mutex.t;
   preps : (string, Harness.prep) Hashtbl.t;
+  persist : Pstore.t option;
   hits : int Atomic.t;
   misses : int Atomic.t;
+  disk_hits : int Atomic.t;
+  disk_writes : int Atomic.t;
 }
 
 let next_id = Atomic.make 0
 
-let create () =
+(** [create ()] builds an in-memory cache; [persist] additionally backs
+    it with an on-disk store shared across processes. *)
+let create ?persist () =
   {
     id = Atomic.fetch_and_add next_id 1;
     lock = Mutex.create ();
     preps = Hashtbl.create 32;
+    persist;
     hits = Atomic.make 0;
     misses = Atomic.make 0;
+    disk_hits = Atomic.make 0;
+    disk_writes = Atomic.make 0;
   }
+
+let persist t = t.persist
 
 (* Per-domain ckernel tables, keyed by (cache id, prep key).  DLS state is
    born empty in every domain, so a table can never leak across domains. *)
@@ -56,6 +86,28 @@ let ckernels_for cache key =
     Hashtbl.replace tables (cache.id, key) t;
     t
 
+(* Miss path, under the cache lock: consult the persistent store first,
+   build only when it cannot help, and write fresh builds back.  Disk
+   I/O runs under the lock too — publication order must match the
+   in-memory table, and the store's own writes are already atomic. *)
+let build_or_load cache key build =
+  match Option.bind cache.persist (fun ps -> Pstore.load ps ~key) with
+  | Some p ->
+    Atomic.incr cache.disk_hits;
+    (* Marshalled after finalize, so the program round-trips finalized;
+       re-finalizing is a no-op and keeps the invariant obvious. *)
+    Dpc_kir.Kernel.Program.finalize p.Harness.p_prog;
+    p
+  | None ->
+    Atomic.incr cache.misses;
+    let p = build () in
+    Dpc_kir.Kernel.Program.finalize p.Harness.p_prog;
+    Option.iter
+      (fun ps ->
+        if Pstore.store ps ~key p then Atomic.incr cache.disk_writes)
+      cache.persist;
+    p
+
 (** The cache as a {!Harness.preparer}: memoizes the program build and
     seeds the session with this domain's compiled-kernel table. *)
 let preparer cache : Harness.preparer =
@@ -67,16 +119,19 @@ let preparer cache : Harness.preparer =
           Atomic.incr cache.hits;
           p
         | None ->
-          Atomic.incr cache.misses;
-          let p = build () in
-          Dpc_kir.Kernel.Program.finalize p.Harness.p_prog;
+          let p = build_or_load cache key build in
           Hashtbl.replace cache.preps key p;
           p)
   in
   (prep, Some (ckernels_for cache key))
 
 let stats cache =
-  { hits = Atomic.get cache.hits; misses = Atomic.get cache.misses }
+  {
+    hits = Atomic.get cache.hits;
+    misses = Atomic.get cache.misses;
+    disk_hits = Atomic.get cache.disk_hits;
+    disk_writes = Atomic.get cache.disk_writes;
+  }
 
 (** Number of distinct programs cached. *)
 let programs cache =

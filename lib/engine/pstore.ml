@@ -1,0 +1,184 @@
+(** Persistent on-disk store for prepared programs.
+
+    The in-process {!Kcache} amortizes one parse/transform/finalize per
+    program family across a session; this store amortizes it across
+    {e processes}: a cold CLI run or a freshly started daemon loads the
+    prepared (post-transform, finalized) KIR a previous process built
+    instead of rebuilding it.
+
+    Layout: one file per prepared program, content-addressed by the
+    caller's key (the {!Dpc_apps.Harness.prep_key} MD5 hex digest, which
+    covers the variant tag, full source text, parent kernel, policy and
+    device config — everything the build output depends on), stored as
+
+    {v <dir>/<key>.prep v}
+
+    Each file is a one-line header followed by an [Marshal] payload:
+
+    {v dpc-kcache-v1 ocaml=<version> md5=<payload digest> len=<bytes> v}
+
+    The header is the {b format-version guard}: a reader rejects (and a
+    later write replaces) any file whose format tag or OCaml version
+    differs — [Marshal] images are not portable across compiler
+    versions, and the KIR types may change shape across repo versions
+    (bump {!format_version} when they do).  The digest and length
+    reject truncated or corrupted payloads before unmarshalling.
+
+    {b Writes are atomic}: the payload goes to a process-unique temp
+    file in the same directory, then [Sys.rename]s over the final name.
+    Concurrent writers (a daemon and a CLI run racing on the same cache
+    directory) can both write; each rename publishes a complete file
+    and the last one wins — readers never observe a partial file.
+
+    Every failure mode (missing directory, unreadable file, bad header,
+    short payload, digest mismatch, unmarshal error) degrades to a
+    cache miss — the store is an accelerator, never a correctness
+    dependency — and is counted in {!stats}. *)
+
+module Harness = Dpc_apps.Harness
+
+let format_version = "dpc-kcache-v1"
+
+type stats = {
+  loads : int;  (** successful loads *)
+  load_failures : int;  (** missing, stale-format or corrupt files *)
+  stores : int;  (** successful atomic writes *)
+  store_failures : int;
+}
+
+type t = {
+  dir : string;
+  loads : int Atomic.t;
+  load_failures : int Atomic.t;
+  stores : int Atomic.t;
+  store_failures : int Atomic.t;
+}
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then mkdir_p parent;
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(** [create dir] opens (creating it, parents included) the store rooted
+    at [dir].  @raise Unix.Unix_error when the directory cannot be
+    created. *)
+let create dir =
+  mkdir_p dir;
+  {
+    dir;
+    loads = Atomic.make 0;
+    load_failures = Atomic.make 0;
+    stores = Atomic.make 0;
+    store_failures = Atomic.make 0;
+  }
+
+let dir t = t.dir
+
+let stats t =
+  {
+    loads = Atomic.get t.loads;
+    load_failures = Atomic.get t.load_failures;
+    stores = Atomic.get t.stores;
+    store_failures = Atomic.get t.store_failures;
+  }
+
+(* Keys are MD5 hex digests, but never trust a path component: anything
+   that could escape [dir] is refused outright. *)
+let valid_key key =
+  key <> ""
+  && String.for_all
+       (function 'a' .. 'f' | 'A' .. 'F' | '0' .. '9' -> true | _ -> false)
+       key
+
+let path_of t key = Filename.concat t.dir (key ^ ".prep")
+
+let header ~payload =
+  Printf.sprintf "%s ocaml=%s md5=%s len=%d\n" format_version
+    Sys.ocaml_version
+    (Digest.to_hex (Digest.string payload))
+    (String.length payload)
+
+(** Serialize [prep] under [key].  Returns [false] (and counts a store
+    failure) instead of raising on any I/O problem. *)
+let store t ~key (prep : Harness.prep) =
+  if not (valid_key key) then begin
+    Atomic.incr t.store_failures;
+    false
+  end
+  else begin
+    let tmp =
+      Filename.concat t.dir
+        (Printf.sprintf ".tmp-%d-%s" (Unix.getpid ()) key)
+    in
+    let ok =
+      try
+        let payload = Marshal.to_string prep [] in
+        let oc = open_out_bin tmp in
+        Fun.protect
+          ~finally:(fun () -> close_out_noerr oc)
+          (fun () ->
+            output_string oc (header ~payload);
+            output_string oc payload);
+        Sys.rename tmp (path_of t key);
+        true
+      with _ ->
+        (try Sys.remove tmp with _ -> ());
+        false
+    in
+    Atomic.incr (if ok then t.stores else t.store_failures);
+    ok
+  end
+
+(* Header parse: [format_version ocaml=V md5=HEX len=N].  Any deviation
+   means "not ours / not this version" and the load degrades to a miss. *)
+let parse_header line =
+  match String.split_on_char ' ' line with
+  | [ tag; ocaml; md5; len ] -> (
+    let field prefix s =
+      let p = prefix ^ "=" in
+      let pl = String.length p in
+      if String.length s > pl && String.sub s 0 pl = p then
+        Some (String.sub s pl (String.length s - pl))
+      else None
+    in
+    match (field "ocaml" ocaml, field "md5" md5, field "len" len) with
+    | Some ov, Some digest, Some len_s when tag = format_version -> (
+      match int_of_string_opt len_s with
+      | Some n when n >= 0 && ov = Sys.ocaml_version -> Some (digest, n)
+      | _ -> None)
+    | _ -> None)
+  | _ -> None
+
+(** Load the prepared program stored under [key], or [None] when the
+    file is absent, from another format version, truncated, corrupt, or
+    unreadable.  An absent file is an ordinary miss; only a present but
+    rejected file counts as a load failure. *)
+let load t ~key : Harness.prep option =
+  if not (valid_key key) then None
+  else
+    match open_in_bin (path_of t key) with
+    | exception Sys_error _ -> None
+    | ic ->
+      let result =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            try
+              match parse_header (input_line ic) with
+              | None -> None
+              | Some (digest, len) ->
+                let payload = really_input_string ic len in
+                (* A trailing-garbage write (longer file than the header
+                   claims) is as corrupt as a truncated one. *)
+                if
+                  pos_in ic <> in_channel_length ic
+                  || Digest.to_hex (Digest.string payload) <> digest
+                then None
+                else Some (Marshal.from_string payload 0 : Harness.prep)
+            with _ -> None)
+      in
+      Atomic.incr (if result = None then t.load_failures else t.loads);
+      result

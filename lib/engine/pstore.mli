@@ -1,0 +1,43 @@
+(** Persistent on-disk store for prepared programs: the cross-process
+    side of the kernel cache.
+
+    One file per prepared program under the store directory,
+    content-addressed by the caller's key (the harness prep-key MD5
+    digest) with a format-version header (format tag + OCaml version +
+    payload digest + length).  Writes are atomic (temp file +
+    [Sys.rename]), so concurrent daemon/CLI writers never clobber each
+    other and readers never observe partial files.  Every failure mode
+    — stale format, truncation, corruption, I/O error — degrades to a
+    miss; the store accelerates cold starts but is never a correctness
+    dependency. *)
+
+type t
+
+(** Counters since {!create}; loads/stores that degraded to a miss or a
+    no-op are the [_failures]. *)
+type stats = {
+  loads : int;
+  load_failures : int;
+  stores : int;
+  store_failures : int;
+}
+
+(** The on-disk format tag ([dpc-kcache-v1]); bump when the serialized
+    KIR shape changes. *)
+val format_version : string
+
+(** Open the store rooted at the given directory, creating it (parents
+    included) when absent.
+    @raise Unix.Unix_error when the directory cannot be created. *)
+val create : string -> t
+
+val dir : t -> string
+val stats : t -> stats
+
+(** Serialize a prepared program under [key]; [false] on any failure
+    (never raises). *)
+val store : t -> key:string -> Dpc_apps.Harness.prep -> bool
+
+(** Load the prepared program stored under [key]; [None] when absent,
+    stale, corrupt or unreadable (never raises). *)
+val load : t -> key:string -> Dpc_apps.Harness.prep option

@@ -6,16 +6,21 @@
     share one parse/transform/finalize of their programs (and, per
     domain, one closure compilation per kernel); every run still gets a
     fresh device, memory and allocator, so results are byte-identical to
-    uncached runs — which the determinism tests assert.
+    uncached runs — which the determinism tests assert.  With [persist]
+    the cache is additionally backed by an on-disk store, so even a
+    cold process reuses programs an earlier process prepared.
 
     {!run_all} is the batch executor the experiment suites sit on: it
     fans the scenario list over a {!Dpc_util.Pool} and returns per-
     scenario outcomes in submission order, capturing per-run exceptions
     (e.g. an infeasible explicit configuration in an exhaustive sweep)
     instead of failing the batch.  Under the {!Dpc_util.Pool.Steal}
-    scheduler the pool seeds its deques longest-first from
-    {!Scenario.cost_estimate}; stealing only reorders wall-clock
-    execution, never outcomes. *)
+    scheduler the pool seeds its deques longest-first from the session's
+    {!cost} estimate: the static {!Scenario.cost_estimate} model at
+    first, refined online by each finished run's measured wall clock
+    ({!Costs}), so a second sweep seeds from what the first observed.
+    Stealing and estimates only reorder wall-clock execution, never
+    outcomes. *)
 
 module Registry = Dpc_apps.Registry
 module Metrics = Dpc_sim.Metrics
@@ -24,10 +29,12 @@ module Pool = Dpc_util.Pool
 type outcome = {
   scenario : Scenario.t;
   result : (Metrics.report, exn) result;
+  elapsed_s : float;  (** wall clock of this run, preparation included *)
 }
 
 type t = {
   cache : Kcache.t option;
+  costs : Costs.t;
   pool : Pool.t;
   verbose : bool;
   verbose_lock : Mutex.t;
@@ -39,15 +46,24 @@ type t = {
     (default 1: serial) and [sched] picks the pool's dispatch scheduler
     (default [Shared]); [cache:false] disables program reuse (every run
     builds fresh — the baseline the cache benchmark compares against);
+    [persist] backs the cache with the on-disk store rooted at that
+    directory (created when absent; ignored with [cache:false]);
     [inspect] runs after each scenario's launches with its device (for
     profiling capture); [strict_check] installs the static verifier's
     strict finalize hook around every run — including, per worker domain,
     around each task of a batch — so every program a batch builds is
     vetted. *)
-let create ?(jobs = 1) ?(sched = Pool.Shared) ?(cache = true)
+let create ?(jobs = 1) ?(sched = Pool.Shared) ?(cache = true) ?persist
     ?(verbose = false) ?inspect ?(strict_check = false) () =
   {
-    cache = (if cache then Some (Kcache.create ()) else None);
+    cache =
+      (if cache then
+         Some
+           (Kcache.create
+              ?persist:(Option.map Pstore.create persist)
+              ())
+       else None);
+    costs = Costs.create ();
     pool = Pool.create ~sched ~jobs ();
     verbose;
     verbose_lock = Mutex.create ();
@@ -60,9 +76,24 @@ let sched t = Pool.sched t.pool
 let last_steals t = Pool.last_steals t.pool
 
 let cache_stats t =
-  match t.cache with
-  | Some c -> Kcache.stats c
-  | None -> { Kcache.hits = 0; misses = 0 }
+  match t.cache with Some c -> Kcache.stats c | None -> Kcache.zero_stats
+
+let persist_stats t =
+  Option.bind t.cache (fun c -> Option.map Pstore.stats (Kcache.persist c))
+
+let cached_programs t =
+  match t.cache with Some c -> Kcache.programs c | None -> 0
+
+(** Current cost estimate of one scenario: the static model, overridden
+    by this session's calibrated observation once the scenario has run
+    (see {!Costs}).  This is what {!run_all} seeds the stealing
+    scheduler with. *)
+let cost t sc =
+  Costs.estimate t.costs ~key:(Scenario.key sc)
+    ~static:(Scenario.cost_estimate sc)
+
+(** Distinct scenarios this session has timed so far. *)
+let observed_costs t = Costs.observations t.costs
 
 let run_one t (sc : Scenario.t) =
   let entry = Registry.find sc.Scenario.app in
@@ -77,17 +108,31 @@ let run_one t (sc : Scenario.t) =
    worker domains the submitting domain's hook never reaches). *)
 let wrap_strict t f = if t.strict_check then Dpc_check.Check.with_strict f else f ()
 
+(** Execute one scenario, capturing its error and wall clock; the
+    measured time also feeds the session's online cost table.  This is
+    the unit both {!run_all} and the serve daemon's streaming executor
+    are built on. *)
+let run_outcome t (sc : Scenario.t) : outcome =
+  let t0 = Unix.gettimeofday () in
+  let result =
+    try Ok (wrap_strict t (fun () -> run_one t sc)) with e -> Error e
+  in
+  let elapsed_s = Unix.gettimeofday () -. t0 in
+  Costs.record t.costs ~key:(Scenario.key sc)
+    ~static:(Scenario.cost_estimate sc) ~seconds:elapsed_s;
+  { scenario = sc; result; elapsed_s }
+
 (** Execute one scenario; exceptions propagate. *)
-let run t sc = wrap_strict t (fun () -> run_one t sc)
+let run t sc =
+  let o = run_outcome t sc in
+  match o.result with Ok r -> r | Error e -> raise e
 
 (** Execute a batch across the session's pool.  Outcomes keep submission
     order; a failing scenario yields [Error] without aborting its
     siblings. *)
 let run_all t (scenarios : Scenario.t list) : outcome list =
   let work sc =
-    let result =
-      try Ok (wrap_strict t (fun () -> run_one t sc)) with e -> Error e
-    in
+    let o = run_outcome t sc in
     if t.verbose then begin
       (* Progress goes to stderr: stdout carries the figure tables.  One
          pre-formatted line per outcome, written under a lock: worker
@@ -95,7 +140,7 @@ let run_all t (scenarios : Scenario.t list) : outcome list =
          interleaves *within* lines (the format engine emits piece by
          piece, and the channel lock only covers each piece). *)
       let line =
-        match result with
+        match o.result with
         | Ok r ->
           Printf.sprintf "engine: %-24s %12.0f cycles\n" (Scenario.label sc)
             r.Metrics.cycles
@@ -107,9 +152,9 @@ let run_all t (scenarios : Scenario.t list) : outcome list =
           output_string stderr line;
           flush stderr)
     end;
-    { scenario = sc; result }
+    o
   in
-  Pool.parallel_map ~cost:Scenario.cost_estimate t.pool work scenarios
+  Pool.parallel_map ~cost:(cost t) t.pool work scenarios
 
 (** [report outcome] unwraps, re-raising a captured failure. *)
 let report (o : outcome) =

@@ -1,32 +1,39 @@
 (** Scenario execution sessions: the one way every front end (suite
-    figures, CLI flags, sweep files, benchmarks) runs apps.
+    figures, CLI flags, sweep files, benchmarks, the serve daemon) runs
+    apps.
 
     A session owns a {!Kcache} and a worker pool.  Runs differing only in
     scale, seed or allocator share one program build (and one closure
     compilation per kernel per domain); every run still gets a fresh
-    device, so results are byte-identical to uncached runs. *)
+    device, so results are byte-identical to uncached runs.  With
+    [persist] the cache is additionally backed by an on-disk store
+    ({!Pstore}), so cold processes start warm. *)
 
 type outcome = {
   scenario : Scenario.t;
   result : (Dpc_sim.Metrics.report, exn) result;
+  elapsed_s : float;  (** wall clock of this run, preparation included *)
 }
 
 type t
 
 (** [jobs] bounds batch parallelism (default 1); [sched] picks the
     batch pool's dispatch scheduler (default [Shared]; [Steal] seeds
-    per-worker deques longest-first from {!Scenario.cost_estimate} and
-    lets idle workers steal — outcomes are identical, only wall-clock
-    scheduling changes); [cache:false] disables program reuse (every run
-    builds fresh); [verbose] prints a line per finished scenario (writes
-    are serialized across worker domains); [inspect] runs after each
-    scenario's launches with its device; [strict_check] installs the
-    static verifier's domain-local strict finalize hook around each run,
-    inside the worker domain that executes it. *)
+    per-worker deques longest-first from the session's {!cost} estimate
+    and lets idle workers steal — outcomes are identical, only
+    wall-clock scheduling changes); [cache:false] disables program reuse
+    (every run builds fresh); [persist] backs the cache with the on-disk
+    store rooted at that directory (created when absent; ignored with
+    [cache:false]); [verbose] prints a line per finished scenario
+    (writes are serialized across worker domains); [inspect] runs after
+    each scenario's launches with its device; [strict_check] installs
+    the static verifier's domain-local strict finalize hook around each
+    run, inside the worker domain that executes it. *)
 val create :
   ?jobs:int ->
   ?sched:Dpc_util.Pool.sched ->
   ?cache:bool ->
+  ?persist:string ->
   ?verbose:bool ->
   ?inspect:(Scenario.t -> Dpc_sim.Device.t -> unit) ->
   ?strict_check:bool ->
@@ -43,6 +50,26 @@ val last_steals : t -> int
 
 (** Zero for cacheless sessions. *)
 val cache_stats : t -> Kcache.stats
+
+(** On-disk store counters; [None] without [persist] (or with
+    [cache:false]). *)
+val persist_stats : t -> Pstore.stats option
+
+(** Distinct program families currently in the in-memory cache. *)
+val cached_programs : t -> int
+
+(** Current cost estimate of one scenario: the static
+    {!Scenario.cost_estimate}, overridden by this session's calibrated
+    wall-clock observation once the scenario has run ({!Costs}).  This
+    is what {!run_all} seeds the stealing scheduler with. *)
+val cost : t -> Scenario.t -> float
+
+(** Distinct scenarios this session has timed so far. *)
+val observed_costs : t -> int
+
+(** Execute one scenario, capturing its error and wall clock; the
+    measurement also feeds the session's online cost table. *)
+val run_outcome : t -> Scenario.t -> outcome
 
 (** Execute one scenario; exceptions propagate. *)
 val run : t -> Scenario.t -> Dpc_sim.Metrics.report

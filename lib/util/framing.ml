@@ -1,0 +1,43 @@
+(** Incremental newline-delimited frame splitter.
+
+    The serve protocol ([dpc-serve-v1]) frames every message as one JSON
+    document per line.  A socket reader hands whatever byte chunks
+    [read] produced to {!feed} and gets back the complete frames they
+    closed, in order; a partial trailing line stays buffered until the
+    next chunk completes it.  The splitter never inspects frame
+    contents, so it works for any line-framed text protocol.
+
+    Frames are stripped of their ['\n'] terminator; a ['\r'] immediately
+    before it is dropped too, so CRLF peers work unchanged.  Empty lines
+    are delivered as [""] — the protocol layer decides whether to ignore
+    them. *)
+
+type t = {
+  buf : Buffer.t;  (** bytes of the current, not-yet-terminated frame *)
+}
+
+let create () = { buf = Buffer.create 256 }
+
+(** Bytes buffered for the incomplete current frame. *)
+let pending t = Buffer.length t.buf
+
+let chop_cr s =
+  let n = String.length s in
+  if n > 0 && s.[n - 1] = '\r' then String.sub s 0 (n - 1) else s
+
+(** [feed t bytes ~len] consumes [len] bytes from the front of [bytes]
+    and returns the frames they completed, oldest first. *)
+let feed t (chunk : bytes) ~len =
+  let frames = ref [] in
+  for i = 0 to len - 1 do
+    match Bytes.get chunk i with
+    | '\n' ->
+      frames := chop_cr (Buffer.contents t.buf) :: !frames;
+      Buffer.clear t.buf
+    | c -> Buffer.add_char t.buf c
+  done;
+  List.rev !frames
+
+(** [feed_string t s] is {!feed} over a whole string (tests, in-process
+    pipes). *)
+let feed_string t s = feed t (Bytes.unsafe_of_string s) ~len:(String.length s)

@@ -1,0 +1,21 @@
+(** Incremental newline-delimited frame splitter for line-framed text
+    protocols (the serve layer's [dpc-serve-v1] framing).
+
+    Feed raw byte chunks as they arrive from a socket; get back the
+    complete frames they closed, in arrival order, with the ['\n'] (and
+    an optional preceding ['\r']) stripped.  A partial trailing line
+    stays buffered across calls. *)
+
+type t
+
+val create : unit -> t
+
+(** Bytes buffered for the incomplete current frame. *)
+val pending : t -> int
+
+(** [feed t chunk ~len] consumes the first [len] bytes of [chunk] and
+    returns the frames they completed, oldest first. *)
+val feed : t -> bytes -> len:int -> string list
+
+(** {!feed} over a whole string. *)
+val feed_string : t -> string -> string list

@@ -18,6 +18,7 @@ let () =
       ("free-launch", Test_free_launch.suite);
       ("experiments", Test_experiments.suite);
       ("engine", Test_engine.suite);
+      ("serve", Test_serve.suite);
       ("prof", Test_prof.suite);
       ("check", Test_check.suite);
     ]
