@@ -181,7 +181,10 @@ let run_mutants () =
   if !failures = 0 then 0 else 1
 
 let run input parent policy output help_pragma app variant scale scenario
-    profile_out check strict check_json mutants =
+    interp profile_out check strict check_json mutants =
+  (match interp with
+  | Some m -> Dpc_sim.Interp.set_default_mode m
+  | None -> ());
   if help_pragma then begin
     print_string pragma_help;
     0
@@ -357,6 +360,20 @@ let scenario_arg =
              $(b,app=SSSP,variant=grid-level,scale=700,cfg.num_smx=26).  \
              Mutually exclusive with --app.")
 
+let interp_arg =
+  let backend =
+    Arg.enum
+      [ ("compiled", Dpc_sim.Interp.Compiled);
+        ("bytecode", Dpc_sim.Interp.Bytecode);
+        ("ref", Dpc_sim.Interp.Reference) ]
+  in
+  Arg.(value & opt (some backend) None & info [ "interp" ] ~docv:"BACKEND"
+       ~doc:"Interpreter back end for profiling runs: $(b,compiled) \
+             (closure fast path, the default), $(b,bytecode) (fused \
+             linear bytecode dispatch) or $(b,ref) (reference AST \
+             walker).  All three produce byte-identical reports; \
+             overrides $(b,DPC_INTERP).")
+
 let profile_arg =
   Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE"
        ~doc:"Write a Chrome trace-event JSON of the profiled run to \
@@ -391,7 +408,8 @@ let cmd =
     (Cmd.info "dpcc" ~doc)
     Term.(
       const run $ input $ parent $ policy $ output $ help_pragma
-      $ app_arg $ variant_arg $ scale_arg $ scenario_arg $ profile_arg
-      $ check_arg $ strict_arg $ check_json_arg $ mutants_arg)
+      $ app_arg $ variant_arg $ scale_arg $ scenario_arg $ interp_arg
+      $ profile_arg $ check_arg $ strict_arg $ check_json_arg
+      $ mutants_arg)
 
 let () = exit (Cmd.eval' cmd)

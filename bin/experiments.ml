@@ -249,11 +249,13 @@ let interp =
   let backend =
     Arg.enum
       [ ("compiled", Dpc_sim.Interp.Compiled);
+        ("bytecode", Dpc_sim.Interp.Bytecode);
         ("ref", Dpc_sim.Interp.Reference) ]
   in
   Arg.(value & opt (some backend) None & info [ "interp" ] ~docv:"BACKEND"
        ~doc:"Interpreter back end: $(b,compiled) (closure fast path, the \
-             default) or $(b,ref) (reference AST walker).  Both emit \
+             default), $(b,bytecode) (fused linear bytecode dispatch) or \
+             $(b,ref) (reference AST walker).  All three emit \
              byte-identical metrics; overrides $(b,DPC_INTERP).")
 
 let scenario_args =

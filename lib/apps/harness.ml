@@ -70,19 +70,29 @@ type prep = {
 type ckernels = (string, Dpc_sim.Compile.ckernel option) Hashtbl.t
 
 (** Cache hook threaded through {!prepare}: given the variant's stable
-    [key] and a [build] thunk, return the (possibly memoized) {!prep} and
-    optionally a compiled-kernel table to seed the device's session with
-    (see {!Dpc_sim.Interp.create_session}).  The default, {!no_cache},
-    always builds fresh and seeds nothing. *)
-type preparer = key:string -> build:(unit -> prep) -> prep * ckernels option
+    [key], the effective interpreter-tier tag [interp] (see
+    {!Dpc_sim.Interp.mode_to_string}) and a [build] thunk, return the
+    (possibly memoized) {!prep} and optionally a compiled-kernel table to
+    seed the device's session with (see
+    {!Dpc_sim.Interp.create_session}).  The tier tag is already folded
+    into [key], so tiers never share cache entries — it is passed
+    separately so persistent stores can also stamp it into their on-disk
+    headers.  The default, {!no_cache}, always builds fresh and seeds
+    nothing. *)
+type preparer =
+  key:string -> interp:string -> build:(unit -> prep) ->
+  prep * ckernels option
 
-let no_cache : preparer = fun ~key:_ ~build -> (build (), None)
+let no_cache : preparer = fun ~key:_ ~interp:_ ~build -> (build (), None)
 
-(** Stable cache key of a program build: digest of everything the build
-    output depends on — variant tag, full source text (which already
+(** Stable cache key of a program build: digest of everything the cached
+    artifact depends on — variant tag, full source text (which already
     encodes granularity and any dataset-derived launch constants), parent
-    kernel, configuration policy, and device config. *)
-let prep_key ~tag ~(cfg : Cfg.t) ~policy ~source ~parent =
+    kernel, configuration policy, device config, and the interpreter tier
+    whose compiled-kernel table the entry seeds (closure and bytecode
+    lowerings share a table slot type but never an actual table, so the
+    tiers must never collide on one key). *)
+let prep_key ~tag ~(cfg : Cfg.t) ~policy ~source ~parent ~interp =
   let policy_str =
     match policy with
     | None -> "default"
@@ -91,7 +101,8 @@ let prep_key ~tag ~(cfg : Cfg.t) ~policy ~source ~parent =
   Digest.to_hex
     (Digest.string
        (String.concat "\x00"
-          [ tag; source; parent; policy_str; Marshal.to_string cfg [] ]))
+          [ tag; source; parent; policy_str; interp;
+            Marshal.to_string cfg [] ]))
 
 (* --- run specification ---------------------------------------------------- *)
 
@@ -156,6 +167,15 @@ let reject_unknown_extras ~app ~known s =
              | ks -> Printf.sprintf " (known: %s)" (String.concat ", " ks))))
     s.sp_extras
 
+(* The tier a spec will actually run under (the session default when the
+   spec leaves it open) — resolved at prepare time so the cache key names
+   the tier whose lowering the seeded ckernel table will hold. *)
+let spec_interp_tag (s : spec) =
+  Dpc_sim.Interp.mode_to_string
+    (match s.sp_interp with
+    | Some m -> m
+    | None -> Dpc_sim.Interp.default_mode ())
+
 (* Instantiate per-run state around a (possibly cached) prep: fresh device
    with the spec's allocator, scheduler and interpreter mode, seeded with
    the cache's per-domain compiled-kernel table when one is supplied. *)
@@ -183,18 +203,20 @@ let prepare_spec (s : spec) ~(source : Pragma.granularity -> string)
   | Flat -> invalid_arg "Harness.prepare: use prepare_flat for Flat"
   | Basic ->
     let src = source Pragma.Grid in
+    let interp = spec_interp_tag s in
     let key = prep_key ~tag:"basic" ~cfg:s.sp_cfg ~policy:None ~source:src
-        ~parent
+        ~parent ~interp
     in
     let build () =
       { p_prog = Parser.parse_program src; p_entry = parent; p_trans = None }
     in
-    instantiate s (s.sp_preparer ~key ~build)
+    instantiate s (s.sp_preparer ~key ~interp ~build)
   | Cons g ->
     let src = source g in
+    let interp = spec_interp_tag s in
     let key =
       prep_key ~tag:"cons" ~cfg:s.sp_cfg ~policy:s.sp_policy ~source:src
-        ~parent
+        ~parent ~interp
     in
     let build () =
       let prog = Parser.parse_program src in
@@ -202,16 +224,18 @@ let prepare_spec (s : spec) ~(source : Pragma.granularity -> string)
       { p_prog = r.Transform.program; p_entry = r.Transform.entry;
         p_trans = Some r }
     in
-    instantiate s (s.sp_preparer ~key ~build)
+    instantiate s (s.sp_preparer ~key ~interp ~build)
 
 let prepare_flat_spec (s : spec) ~(source : string) ~entry : prepared =
+  let interp = spec_interp_tag s in
   let key =
     prep_key ~tag:"flat" ~cfg:s.sp_cfg ~policy:None ~source ~parent:entry
+      ~interp
   in
   let build () =
     { p_prog = Parser.parse_program source; p_entry = entry; p_trans = None }
   in
-  instantiate s (s.sp_preparer ~key ~build)
+  instantiate s (s.sp_preparer ~key ~interp ~build)
 
 (* Back-compat wrappers over the spec-driven path. *)
 

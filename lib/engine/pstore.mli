@@ -3,8 +3,11 @@
 
     One file per prepared program under the store directory,
     content-addressed by the caller's key (the harness prep-key MD5
-    digest) with a format-version header (format tag + OCaml version +
-    payload digest + length).  Writes are atomic (temp file +
+    digest, which folds in the interpreter tier) with a format-version
+    header (format tag + OCaml version + interpreter tier + payload
+    digest + length) — a load for one tier never accepts a file written
+    for another, so mixed-tier cache directories degrade to an ordinary
+    re-prepare.  Writes are atomic (temp file +
     [Sys.rename]), so concurrent daemon/CLI writers never clobber each
     other and readers never observe partial files.  Every failure mode
     — stale format, truncation, corruption, I/O error — degrades to a
@@ -22,8 +25,8 @@ type stats = {
   store_failures : int;
 }
 
-(** The on-disk format tag ([dpc-kcache-v1]); bump when the serialized
-    KIR shape changes. *)
+(** The on-disk format tag ([dpc-kcache-v2]); bump when the serialized
+    KIR shape or the header layout changes. *)
 val format_version : string
 
 (** Open the store rooted at the given directory, creating it (parents
@@ -34,10 +37,12 @@ val create : string -> t
 val dir : t -> string
 val stats : t -> stats
 
-(** Serialize a prepared program under [key]; [false] on any failure
-    (never raises). *)
-val store : t -> key:string -> Dpc_apps.Harness.prep -> bool
+(** Serialize a prepared program under [key] for interpreter tier [tier]
+    (a {!Dpc_sim.Interp.mode_to_string} tag, stamped into the header);
+    [false] on any failure (never raises). *)
+val store : t -> key:string -> tier:string -> Dpc_apps.Harness.prep -> bool
 
-(** Load the prepared program stored under [key]; [None] when absent,
-    stale, corrupt or unreadable (never raises). *)
-val load : t -> key:string -> Dpc_apps.Harness.prep option
+(** Load the prepared program stored under [key] for interpreter tier
+    [tier]; [None] when absent, stale, written for another tier, corrupt
+    or unreadable (never raises). *)
+val load : t -> key:string -> tier:string -> Dpc_apps.Harness.prep option

@@ -156,17 +156,15 @@ let scheduler_of_string s =
     invalid_arg
       (Printf.sprintf "bad scheduler %S (expected ps or fcfs)" other)
 
-let interp_to_string = function
-  | Dpc_sim.Interp.Compiled -> "compiled"
-  | Dpc_sim.Interp.Reference -> "ref"
+let interp_to_string = Dpc_sim.Interp.mode_to_string
 
 let interp_of_string s =
-  match String.lowercase_ascii s with
-  | "compiled" -> Dpc_sim.Interp.Compiled
-  | "ref" | "reference" -> Dpc_sim.Interp.Reference
-  | other ->
+  match Dpc_sim.Interp.mode_of_string s with
+  | Some m -> m
+  | None ->
     invalid_arg
-      (Printf.sprintf "bad interp mode %S (expected compiled or ref)" other)
+      (Printf.sprintf "bad interp mode %S (expected compiled, bytecode, or ref)"
+         s)
 
 (* --- construction ---------------------------------------------------------- *)
 
@@ -394,18 +392,22 @@ let sweep_of_json (j : Json.t) =
 (* --- cost model ------------------------------------------------------------ *)
 
 (* Per-scenario cost estimate: effective problem items x per-item app
-   weight x variant weight x interpreter weight.  The weights are seeded
-   from committed profile data — the grid-level cycle counts of
-   ci/experiments_baseline.json at each app's default scale give the
-   per-item app weights, the per-variant cycle ratios' geometric means
-   across the seven apps give the variant weights, and the interpreter
-   ratio is the measured BENCH_pr3.json walker/compiled wall ratio.
-   Simulated cycles track simulator wall time closely enough for
-   scheduling (the interpreter's work is proportional to the work it
-   simulates), and the stealing scheduler only needs relative order:
-   mis-estimates cost balance, never correctness. *)
+   weight x variant weight x interpreter weight.  The weights are fit
+   from the measured per-scenario wall clocks committed in
+   BENCH_pr8.json (the evaluation suite under every interpreter tier,
+   best-of-reps, serial): the compiled tier's grid-level wall over the
+   app's effective item count gives the per-item app weight (in
+   microseconds of compiled wall per item), the per-variant wall
+   ratios' geometric means across the seven apps give the variant
+   weights, and the tier wall totals over the compiled total give the
+   interpreter weights.  Earlier fits used simulated cycle counts as a
+   wall proxy; the direct measurement corrects that (e.g. basic-dp
+   burns ~10x the simulated cycles of grid-level but slightly *less*
+   interpreter wall, because its tiny grids do proportionally little
+   work per charge).  The stealing scheduler only needs relative
+   order: mis-estimates cost balance, never correctness. *)
 
-(* (effective items at scale, per-item weight in baseline cycles).
+(* (effective items at scale, per-item weight in us of compiled wall).
    Scale semantics per app: node count for the citeseer-like apps,
    log2 node count for the kron-based apps, shrink divisor (larger =
    smaller tree, nominal full tree 16384 nodes) for the tree apps. *)
@@ -416,23 +418,24 @@ let app_cost_model app (scale : int option) =
     16384. /. float_of_int (Int.max 1 (Option.value scale ~default))
   in
   match app with
-  | "SSSP" -> (lin 3000, 100.)
-  | "SpMV" -> (lin 8000, 17.5)
-  | "PageRank" -> (lin 6000, 99.5)
-  | "GC" -> (exp2 12, 896.)
-  | "BFS-Rec" -> (exp2 12, 21.2)
-  | "TH" | "TD" -> (shrink 4, 29.7)
-  | _ -> (lin 1000, 100.)  (* future apps: a neutral linear guess *)
+  | "SSSP" -> (lin 3000, 64.0)
+  | "SpMV" -> (lin 8000, 18.3)
+  | "PageRank" -> (lin 6000, 55.5)
+  | "GC" -> (exp2 12, 525.7)
+  | "BFS-Rec" -> (exp2 12, 18.6)
+  | "TH" | "TD" -> (shrink 4, 57.7)
+  | _ -> (lin 1000, 60.)  (* future apps: a neutral linear guess *)
 
 let variant_weight = function
-  | Harness.Basic -> 9.7
-  | Harness.Flat -> 1.55
-  | Harness.Cons Dpc_kir.Pragma.Warp -> 1.18
-  | Harness.Cons Dpc_kir.Pragma.Block -> 1.02
+  | Harness.Basic -> 0.86
+  | Harness.Flat -> 0.90
+  | Harness.Cons Dpc_kir.Pragma.Warp -> 1.03
+  | Harness.Cons Dpc_kir.Pragma.Block -> 1.00
   | Harness.Cons Dpc_kir.Pragma.Grid -> 1.0
 
 let interp_weight = function
-  | Some Dpc_sim.Interp.Reference -> 1.61
+  | Some Dpc_sim.Interp.Reference -> 1.48
+  | Some Dpc_sim.Interp.Bytecode -> 0.54
   | Some Dpc_sim.Interp.Compiled | None -> 1.0
 
 (** Relative wall-clock estimate of one run, in baseline-cycle units.

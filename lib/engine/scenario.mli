@@ -75,9 +75,9 @@ val interp_of_string : string -> Dpc_sim.Interp.mode
 (** {2 Cost model} *)
 
 (** Relative wall-clock estimate of the run ([scale x app x variant]
-    weights, plus the interpreter back end's measured ratio), seeded from
-    the committed profile data (the per-app/per-variant cycle counts of
-    [ci/experiments_baseline.json] and the BENCH_pr3 interpreter ratio).
+    weights, plus the interpreter back end's measured ratio), fit from
+    the measured per-scenario wall clocks committed in [BENCH_pr8.json]
+    (the evaluation suite under every interpreter tier).
     {!Session.run_all}'s stealing scheduler orders its deques
     longest-first by this value; estimates steer scheduling only and
     never affect results. *)

@@ -1,0 +1,22 @@
+(** Third interpreter tier: kernels flattened to dense int-coded
+    bytecode over unboxed register planes with superinstruction fusion,
+    executed by a tight dispatch loop.  Produces ordinary
+    {!Compile.ckernel} values (the lowering plugs into
+    {!Compile.compile_kernel} via [?run_lower]), so caching, argument
+    vetting and block execution are shared with the closure tier.
+    Trace and metrics output is byte-identical to both other tiers. *)
+
+(** Lower one finalized kernel through the bytecode tier.  [None] when
+    the kernel uses something no fast path supports (exactly the
+    closure tier's coverage: unsupported statements fall back per
+    statement to closures, and {!Compile.Not_compilable} still demotes
+    the whole kernel to the reference walker). *)
+val compile_kernel : Dpc_kir.Kernel.t -> Compile.ckernel option
+
+(** Enable/disable superinstruction fusion (default on, or the
+    [DPC_BYTECODE_FUSE] environment variable).  A lowering-time switch
+    for the bench ablation: flip it only with cache-free sessions, or
+    cached programs keep the setting they were lowered under. *)
+val set_fusion : bool -> unit
+
+val fusion_enabled : unit -> bool

@@ -279,6 +279,10 @@ type env = {
   storage : storage array;
   shindex : (string, int) Hashtbl.t;  (** shared name -> decl index *)
   shtys : Ty.sh_ty array;
+  run_lower : (env -> A.stmt list -> cctx -> warp -> unit) option;
+      (** alternative lowering for barrier-free statement runs (the
+          bytecode tier installs itself here); [None] lowers runs to
+          closure arrays *)
 }
 
 let get_buf_v env c (v : V.t) =
@@ -1949,13 +1953,16 @@ and compile_block env (stmts : A.stmt list) : cctx -> unit =
       `U (compile_uniform env s) :: go rest
     | stmts ->
       let run, rest = split_run [] stmts in
-      `R (Array.of_list (List.map (compile_stmt env) run)) :: go rest
+      (match env.run_lower with
+      | Some lower -> `L (lower env run) :: go rest
+      | None -> `R (Array.of_list (List.map (compile_stmt env) run)) :: go rest)
   in
   let segs = Array.of_list (go stmts) in
   fun c ->
     Array.iter
       (function
         | `U f -> f c
+        | `L f -> Array.iter (fun w -> if live_mask w <> 0 then f c w) c.warps
         | `R run ->
           Array.iter
             (fun w ->
@@ -1977,7 +1984,7 @@ type ckernel = {
   ck_run : cctx -> unit;
 }
 
-let compile_kernel (k : K.t) : ckernel option =
+let compile_kernel ?run_lower (k : K.t) : ckernel option =
   match k.K.typing with
   | None -> None
   | Some ty when not ty.Ty.ok -> None
@@ -2005,7 +2012,7 @@ let compile_kernel (k : K.t) : ckernel option =
         k.K.shared;
       let shtys = Array.of_list (List.map snd ty.Ty.shared) in
       let env = { kname = k.K.kname; slots = ty.Ty.slots; storage; shindex;
-                  shtys }
+                  shtys; run_lower }
       in
       let run = compile_block env k.K.body in
       let param_store =

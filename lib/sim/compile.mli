@@ -12,7 +12,90 @@
     {!ckernel} may be reused freely across launches, sessions and runs
     {e within one domain}, but must never execute concurrently in two
     domains.  The engine's cross-run cache therefore keeps one
-    compilation table per domain. *)
+    compilation table per domain.
+
+    The block/statement machinery below is exposed so that a second
+    lowering ({!Bytecode}) can plug into {!compile_kernel} via
+    [?run_lower]: it receives each maximal barrier-free statement run and
+    may lower it however it likes, falling back per statement to
+    {!compile_stmt} for anything it does not support.  Such a lowering
+    executes inside the same {!cctx}/{!warp} state and must preserve the
+    walker's charge-for-charge semantics. *)
+
+(** Raised (compile time only) when a kernel uses something the fast
+    path does not support; {!compile_kernel} then returns [None] and
+    every launch of the kernel takes the reference walker. *)
+exception Not_compilable
+
+(** Where a frame slot lives: [Si]/[Sf] are rows of the unboxed int/float
+    planes (buffer handles are [Si] ids), [Sb] rows of the boxed plane. *)
+type storage = Si of int | Sf of int | Sb of int
+
+type warp = {
+  widx : int;
+  base_lane : int;  (** threadIdx.x of lane 0 *)
+  nlanes : int;  (** threads in this warp (last warp may be partial) *)
+  ints : int array array;  (** indexed [row].[lane] *)
+  flts : float array array;
+  boxd : Dpc_kir.Value.t array array;
+  mutable returned : int;  (** bitmask of lanes that executed [return] *)
+}
+
+val full_mask : warp -> int
+
+val live_mask : warp -> int
+
+(** Per-block execution context, mirroring Interp's bctx. *)
+type cctx = {
+  cfg : Dpc_gpu.Config.t;
+  mem : Dpc_gpu.Memory.t;
+  alloc : Dpc_alloc.Allocator.t;
+  l2_tags : int array;
+  gid : int;
+  grid_dim : int;
+  block_dim : int;
+  depth : int;
+  block_idx : int;
+  shared : Dpc_kir.Value.t array array;  (** by shared-decl index *)
+  warps : warp array;
+  seg : Trace.seg_builder;
+  seen : int array;  (** account_access dedup scratch *)
+  block_mallocs : Dpc_kir.Value.t option array;  (** by Malloc site *)
+  grid_mallocs : Dpc_kir.Value.t option array;
+  grid_alloc_count : int ref;
+  pending : Runtime.pending_launch Dpc_util.Vec.t;
+  deep : bool;
+  flush_deep : Runtime.pending_launch -> unit;
+      (** run one pending launch now, draining its subtree *)
+  add_alloc_cycles : int -> unit;  (** session alloc_cycles accumulator *)
+}
+
+val charge : cctx -> int -> int -> unit
+(** [charge c cycles active]: issue cycles against the block's segment. *)
+
+val account : cctx -> int array -> int -> unit
+(** [account c addrs n]: coalesce one warp memory instruction. *)
+
+(** Compile-time environment of one kernel: slot types, slot storage
+    rows, shared-array indices.  [run_lower], when set, replaces the
+    closure lowering of every barrier-free statement run. *)
+type env = {
+  kname : string;
+  slots : Dpc_kir.Typing.slot_ty array;
+  storage : storage array;
+  shindex : (string, int) Hashtbl.t;  (** shared name -> decl index *)
+  shtys : Dpc_kir.Typing.sh_ty array;
+  run_lower : (env -> Dpc_kir.Ast.stmt list -> cctx -> warp -> unit) option;
+}
+
+val storage_of : env -> Dpc_kir.Ast.var -> storage
+(** Storage row of a resolved variable; raises {!Not_compilable} on an
+    unresolved slot. *)
+
+val compile_stmt : env -> Dpc_kir.Ast.stmt -> cctx -> warp -> int -> unit
+(** Lower one statement to a closure.  The closure re-filters its mask
+    against [w.returned], so callers may pass an unfiltered region mask.
+    Raises {!Not_compilable} (at compile time) for unsupported forms. *)
 
 (** A kernel lowered to closures, with its register-plane layout and the
     inferred parameter storage/types used to vet launch arguments. *)
@@ -21,8 +104,13 @@ type ckernel
 (** Lower one finalized kernel.  [None] when the kernel uses something
     the fast path does not support (every launch of it must then take
     the reference walker).  Requires {!Dpc_kir.Kernel.finalize} to have
-    run (the cached {!Dpc_kir.Typing} inference is consumed here). *)
-val compile_kernel : Dpc_kir.Kernel.t -> ckernel option
+    run (the cached {!Dpc_kir.Typing} inference is consumed here).
+    [run_lower], when given, lowers each barrier-free statement run in
+    place of the closure path (block-uniform segments keep closures). *)
+val compile_kernel :
+  ?run_lower:(env -> Dpc_kir.Ast.stmt list -> cctx -> warp -> unit) ->
+  Dpc_kir.Kernel.t ->
+  ckernel option
 
 (** Do this launch's runtime argument values agree with the static slot
     inference the kernel was compiled against?  Rejection falls back to

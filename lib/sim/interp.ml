@@ -55,17 +55,30 @@ type pending_launch = Runtime.pending_launch = {
 
 (* --- back-end selection -------------------------------------------------- *)
 
-type mode = Compiled | Reference
+type mode = Compiled | Bytecode | Reference
 
 let default_mode_ref =
   ref
     (match Sys.getenv_opt "DPC_INTERP" with
     | Some ("ref" | "reference" | "walker") -> Reference
+    | Some ("bytecode" | "bc") -> Bytecode
     | _ -> Compiled)
 
 let set_default_mode m = default_mode_ref := m
 
 let default_mode () = !default_mode_ref
+
+let mode_to_string = function
+  | Compiled -> "compiled"
+  | Bytecode -> "bytecode"
+  | Reference -> "ref"
+
+let mode_of_string s =
+  match String.lowercase_ascii s with
+  | "compiled" -> Some Compiled
+  | "bytecode" | "bc" -> Some Bytecode
+  | "ref" | "reference" | "walker" -> Some Reference
+  | _ -> None
 
 type session = {
   cfg : Cfg.t;
@@ -729,12 +742,16 @@ and exec_grid s ~callee ~grid_dim ~block_dim ~(args : V.t list) ~parent
   let ck =
     match s.mode with
     | Reference -> None
-    | Compiled -> (
+    | Compiled | Bytecode -> (
       let compiled =
         match Hashtbl.find_opt s.ckernels callee with
         | Some c -> c
         | None ->
-          let c = Compile.compile_kernel kernel in
+          let c =
+            match s.mode with
+            | Bytecode -> Bytecode.compile_kernel kernel
+            | _ -> Compile.compile_kernel kernel
+          in
           Hashtbl.replace s.ckernels callee c;
           c
       in

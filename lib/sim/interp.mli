@@ -21,16 +21,26 @@ type pending_launch = Runtime.pending_launch
 (** Interpreter back end.  [Compiled] dispatches through the closure
     compiler ({!Compile}) whenever a kernel lowers successfully and the
     launch arguments match the inferred slot types, falling back to the
-    reference AST walker otherwise; [Reference] forces the walker for
-    every launch.  Both back ends emit byte-identical {!Trace} data. *)
-type mode = Compiled | Reference
+    reference AST walker otherwise; [Bytecode] does the same through the
+    {!Bytecode} lowering (dense int-coded programs with
+    superinstruction fusion); [Reference] forces the walker for every
+    launch.  All three back ends emit byte-identical {!Trace} data. *)
+type mode = Compiled | Bytecode | Reference
 
 (** Set the back end used by sessions created without an explicit [?mode].
-    The initial default is [Compiled], or [Reference] when the environment
-    variable [DPC_INTERP] is set to [ref]. *)
+    The initial default is [Compiled], or as overridden by the
+    environment variable [DPC_INTERP] ([ref] or [bytecode]). *)
 val set_default_mode : mode -> unit
 
 val default_mode : unit -> mode
+
+(** Canonical tier tag ([compiled] / [bytecode] / [ref]) — the string
+    used by scenario codecs, CLI flags and tier-aware cache keys. *)
+val mode_to_string : mode -> string
+
+(** Inverse of {!mode_to_string}, accepting the [bc] / [reference] /
+    [walker] aliases; [None] on anything else. *)
+val mode_of_string : string -> mode option
 
 type session = {
   cfg : Dpc_gpu.Config.t;

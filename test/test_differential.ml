@@ -1,13 +1,14 @@
-(* Differential test of the two interpreter back ends.
+(* Differential test of the three interpreter back ends.
 
-   The compiled closure fast path (Compile) must be observationally
-   identical to the reference AST walker: every app x variant run under
-   both back ends has to produce the same Metrics report and, stronger,
-   the same per-block Trace segments — issue cycles, weighted active
-   lanes (float accumulation order included), DRAM/L2 counts, allocator
-   charges and segment delimiters.  Byte-identical traces mean every
-   downstream number (timing model, figures, profiler) is provably
-   independent of the back end. *)
+   The compiled closure fast path (Compile) and the bytecode tier
+   (Bytecode) must both be observationally identical to the reference
+   AST walker: every app x variant run under all three back ends has to
+   produce the same Metrics report and, stronger, the same per-block
+   Trace segments — issue cycles, weighted active lanes (float
+   accumulation order included), DRAM/L2 counts, allocator charges and
+   segment delimiters.  Byte-identical traces mean every downstream
+   number (timing model, figures, profiler) is provably independent of
+   the back end. *)
 
 module H = Dpc_apps.Harness
 module R = Dpc_apps.Registry
@@ -53,9 +54,9 @@ let run_mode (e : R.entry) v mode : capture =
       in
       { report; grids = !grids; compiled_kernels = !compiled })
 
-let check_segment ctx (a : T.segment) (b : T.segment) =
+let check_segment ~tier ctx (a : T.segment) (b : T.segment) =
   let fail what ppa ppb =
-    Alcotest.failf "%s: %s differs: walker %s vs compiled %s" ctx what ppa
+    Alcotest.failf "%s: %s differs: walker %s vs %s %s" ctx what ppa tier
       ppb
   in
   let chk_int what x y =
@@ -79,7 +80,7 @@ let check_segment ctx (a : T.segment) (b : T.segment) =
   | T.Seg_launch x, T.Seg_launch y when x = y -> ()
   | _ -> fail "ends_with" "<seg_end>" "<seg_end>"
 
-let check_block ctx (a : T.block_trace) (b : T.block_trace) =
+let check_block ~tier ctx (a : T.block_trace) (b : T.block_trace) =
   if a.T.block_idx <> b.T.block_idx then
     Alcotest.failf "%s: block_idx %d vs %d" ctx a.T.block_idx b.T.block_idx;
   if a.T.warps <> b.T.warps then
@@ -90,12 +91,12 @@ let check_block ctx (a : T.block_trace) (b : T.block_trace) =
       (Array.length b.T.segments);
   Array.iteri
     (fun i sa ->
-      check_segment
+      check_segment ~tier
         (Printf.sprintf "%s seg %d" ctx i)
         sa b.T.segments.(i))
     a.T.segments
 
-let check_grid ctx (a : T.grid_exec) (b : T.grid_exec) =
+let check_grid ~tier ctx (a : T.grid_exec) (b : T.grid_exec) =
   if
     a.T.gid <> b.T.gid || a.T.kernel <> b.T.kernel
     || a.T.grid_dim <> b.T.grid_dim
@@ -109,7 +110,7 @@ let check_grid ctx (a : T.grid_exec) (b : T.grid_exec) =
       (Array.length b.T.blocks);
   Array.iteri
     (fun i ba ->
-      check_block
+      check_block ~tier
         (Printf.sprintf "%s block %d" ctx i)
         ba b.T.blocks.(i))
     a.T.blocks
@@ -118,26 +119,29 @@ let report_str (r : M.report) =
   String.concat "; "
     (List.map (fun (k, v) -> k ^ "=" ^ v) (M.to_rows r))
 
-let diff_app_variant (e : R.entry) v () =
-  let name = Printf.sprintf "%s/%s" e.R.name (H.variant_to_string v) in
-  let ref_ = run_mode e v I.Reference in
-  let cmp = run_mode e v I.Compiled in
+let check_tier ~tier name (ref_ : capture) (cmp : capture) =
   (* The fast path must actually engage, or the test is vacuous. *)
   Alcotest.(check bool)
-    (name ^ ": at least one kernel compiled")
+    (Printf.sprintf "%s: at least one kernel lowered by %s tier" name tier)
     true (cmp.compiled_kernels > 0);
   if compare ref_.report cmp.report <> 0 then
-    Alcotest.failf "%s: Metrics.report differs\nwalker:   %s\ncompiled: %s"
-      name (report_str ref_.report) (report_str cmp.report);
+    Alcotest.failf "%s: Metrics.report differs\nwalker: %s\n%s: %s" name
+      (report_str ref_.report) tier (report_str cmp.report);
   if Array.length ref_.grids <> Array.length cmp.grids then
-    Alcotest.failf "%s: grid count %d vs %d" name
-      (Array.length ref_.grids) (Array.length cmp.grids);
+    Alcotest.failf "%s: grid count %d vs %s %d" name
+      (Array.length ref_.grids) tier (Array.length cmp.grids);
   Array.iteri
     (fun i ga ->
-      check_grid
+      check_grid ~tier
         (Printf.sprintf "%s grid %d" name i)
         ga cmp.grids.(i))
     ref_.grids
+
+let diff_app_variant (e : R.entry) v () =
+  let name = Printf.sprintf "%s/%s" e.R.name (H.variant_to_string v) in
+  let ref_ = run_mode e v I.Reference in
+  check_tier ~tier:"compiled" name ref_ (run_mode e v I.Compiled);
+  check_tier ~tier:"bytecode" name ref_ (run_mode e v I.Bytecode)
 
 let variants =
   [ H.Basic; H.Cons Pragma.Warp; H.Cons Pragma.Block; H.Cons Pragma.Grid ]

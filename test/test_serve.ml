@@ -309,11 +309,18 @@ let pstore_key_hygiene () =
     | _ -> Alcotest.fail "expected one .prep file"
   in
   let st = Pstore.create dir in
-  let prep = Option.get (Pstore.load st ~key) in
+  let tier = "compiled" in
+  let prep = Option.get (Pstore.load st ~key ~tier) in
   Alcotest.(check bool) "traversal key refused on store" false
-    (Pstore.store st ~key:"../evil" prep);
+    (Pstore.store st ~key:"../evil" ~tier prep);
   Alcotest.(check bool) "traversal key never loads" true
-    (Option.is_none (Pstore.load st ~key:"../evil"))
+    (Option.is_none (Pstore.load st ~key:"../evil" ~tier));
+  (* The header's tier stamp must match the requested tier: a file
+     written for the closure tier never answers a bytecode load. *)
+  Alcotest.(check bool) "other-tier load degrades to a miss" true
+    (Option.is_none (Pstore.load st ~key ~tier:"bytecode"));
+  Alcotest.(check bool) "malformed tier refused on store" false
+    (Pstore.store st ~key ~tier:"two words" prep)
 
 (* --- the daemon ------------------------------------------------------------- *)
 
