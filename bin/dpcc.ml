@@ -96,23 +96,43 @@ let run_check_file ~strict ~json_out path =
     json_out;
   if lint_failed ~strict diags then 1 else 0
 
-(* Lint every registered app at every lintable variant: the annotated
+(* Lint every registered app at every lintable variant (the annotated
    source as written, the consolidation output at each granularity, and
-   the flat kernels. *)
+   the flat kernels), translation-validate every consolidation
+   transform, and statically verify every bytecode stream the programs
+   lower to. *)
 let run_check_apps ~strict ~json_out =
-  let units =
+  let entries = Dpc_apps.Registry.all in
+  let lint_units =
     List.concat_map
       (fun (e : Dpc_apps.Registry.entry) ->
         List.map
           (fun (variant, prog) ->
             (Printf.sprintf "%s/%s" e.Dpc_apps.Registry.name variant, prog))
           (e.Dpc_apps.Registry.programs ()))
-      Dpc_apps.Registry.all
+      entries
+  in
+  let tv_units =
+    List.concat_map
+      (fun (e : Dpc_apps.Registry.entry) ->
+        List.map
+          (fun (variant, parent, orig, r) ->
+            ( Printf.sprintf "%s/tv/%s" e.Dpc_apps.Registry.name variant,
+              Dpc_check.Tv.check ~parent ~orig r ))
+          (e.Dpc_apps.Registry.tv_units ()))
+      entries
+  in
+  let bc_units =
+    List.map
+      (fun (label, prog) ->
+        (label ^ "/bytecode", Dpc_check.Bcverify.check prog))
+      lint_units
   in
   let per_unit =
     List.map
       (fun (label, prog) -> (label, Dpc_check.Check.check_program prog))
-      units
+      lint_units
+    @ tv_units @ bc_units
   in
   List.iter
     (fun (label, diags) ->
@@ -122,8 +142,11 @@ let run_check_apps ~strict ~json_out =
         diags)
     per_unit;
   let all = List.concat_map snd per_unit in
-  Printf.printf "checked %d programs (%d apps): %s\n" (List.length units)
-    (List.length Dpc_apps.Registry.all)
+  Printf.printf
+    "checked %d units (%d lint, %d transform-validation, %d bytecode; %d \
+     apps): %s\n"
+    (List.length per_unit) (List.length lint_units) (List.length tv_units)
+    (List.length bc_units) (List.length entries)
     (Dpc_check.Check.summary all);
   Option.iter
     (fun p ->

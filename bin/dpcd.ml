@@ -76,9 +76,12 @@ let timeout =
              mid-simulation.")
 
 let strict =
-  Arg.(value & flag & info [ "strict-check" ]
-       ~doc:"Install the static verifier's strict finalize hook around \
-             every run.")
+  Arg.(value & flag & info [ "strict"; "strict-check" ]
+       ~doc:"Run every served scenario under the full strict verifier: \
+             the finalize linter, transform translation validation and \
+             prepare-time bytecode stream verification.  A diagnostic \
+             failure becomes that scenario's structured error outcome; \
+             the daemon keeps serving.")
 
 let quiet =
   Arg.(value & flag & info [ "q"; "quiet" ]

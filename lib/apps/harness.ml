@@ -167,6 +167,41 @@ let reject_unknown_extras ~app ~known s =
              | ks -> Printf.sprintf " (known: %s)" (String.concat ", " ks))))
     s.sp_extras
 
+(** Declared shape of one app-specific extras value, for eager scenario
+    lint: the engine refuses unknown keys and malformed values at
+    scenario construction with a one-line actionable error, instead of
+    silently ignoring them or failing mid-batch. *)
+type extra_kind =
+  | Xint  (** any decimal integer *)
+  | Xenum of string list  (** one of a fixed token set *)
+
+(** Validate [pairs] against an app's declared extras ([known] from its
+    registry entry).  @raise Invalid_argument with a one-line message
+    naming the offending key/value and listing the valid keys. *)
+let validate_extras ~app ~(known : (string * extra_kind) list) pairs =
+  List.iter
+    (fun (k, v) ->
+      match List.assoc_opt k known with
+      | None ->
+        invalid_arg
+          (Printf.sprintf "app %s: unknown extra %S%s" app k
+             (match known with
+             | [] -> " (this app takes none)"
+             | ks ->
+               Printf.sprintf " (valid keys: %s)"
+                 (String.concat ", " (List.map fst ks))))
+      | Some Xint ->
+        if int_of_string_opt v = None then
+          invalid_arg
+            (Printf.sprintf "app %s: extra %s=%S: expected an integer" app k
+               v)
+      | Some (Xenum vals) ->
+        if not (List.mem v vals) then
+          invalid_arg
+            (Printf.sprintf "app %s: extra %s=%S: expected one of %s" app k
+               v (String.concat ", " vals)))
+    pairs
+
 (* The tier a spec will actually run under (the session default when the
    spec leaves it open) — resolved at prepare time so the cache key names
    the tier whose lowering the seeded ckernel table will hold. *)
@@ -268,6 +303,21 @@ let dp_programs ?policy ?(cfg = Cfg.k20c)
   match flat with
   | Some src -> [ ("no-dp", Parser.parse_program src) ]
   | None -> []
+
+(** The translation-validation surface of a DP app: for each
+    consolidation granularity, the original annotated program next to
+    the transform's result, so {!Dpc_check.Tv} can validate the pair.
+    (The program the result holds is a fresh one; the returned original
+    is the very program the transform consumed.) *)
+let dp_tv_units ?policy ?(cfg = Cfg.k20c)
+    ~(source : Pragma.granularity -> string) ~parent () :
+    (string * string * Dpc_kir.Kernel.Program.t * Transform.result) list =
+  List.map
+    (fun g ->
+      let prog = Parser.parse_program (source g) in
+      let r = Transform.apply ?policy ~cfg ~parent prog in
+      (Pragma.granularity_to_string g ^ "-level", parent, prog, r))
+    [ Pragma.Warp; Pragma.Block; Pragma.Grid ]
 
 (* --- verification helpers ------------------------------------------------ *)
 

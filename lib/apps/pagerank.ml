@@ -82,6 +82,11 @@ __global__ void pr_flat(int* row_ptr, int* col, float* pr, float* next, int n) {
 let programs ?cfg () =
   dp_programs ?cfg ~source:dp_source ~parent:"pr_parent" ~flat:flat_source ()
 
+let tv_units ?cfg () =
+  dp_tv_units ?cfg ~source:dp_source ~parent:"pr_parent" ()
+
+let extras_spec : (string * extra_kind) list = []
+
 let default_scale = 6000
 
 let run_spec (s : spec) =

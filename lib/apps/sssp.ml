@@ -90,6 +90,11 @@ let programs ?cfg () =
   dp_programs ?cfg ~source:dp_source ~parent:"sssp_parent" ~flat:flat_source
     ()
 
+let tv_units ?cfg () =
+  dp_tv_units ?cfg ~source:dp_source ~parent:"sssp_parent" ()
+
+let extras_spec : (string * extra_kind) list = []
+
 let default_scale = 3000
 
 let run_spec (s : spec) =

@@ -123,6 +123,14 @@ let programs spec ?cfg () =
     ~flat:(flat_source spec)
     ()
 
+let tv_units spec ?cfg () =
+  dp_tv_units ?cfg
+    ~source:(dp_source spec ~child_block:128)
+    ~parent:spec.kernel ()
+
+let extras_spec : (string * extra_kind) list =
+  [ ("max_nodes", Xint); ("dataset", Xenum [ "dataset1"; "dataset2" ]) ]
+
 (* App-specific knobs carried in [Harness.spec] extras: [max_nodes] caps
    the generated tree's node count; [dataset] picks dataset1/dataset2. *)
 let dataset_of_extras hs =

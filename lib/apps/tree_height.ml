@@ -25,6 +25,10 @@ let spec : Tree_common.spec =
 
 let programs ?cfg () = Tree_common.programs spec ?cfg ()
 
+let tv_units ?cfg () = Tree_common.tv_units spec ?cfg ()
+
+let extras_spec = Tree_common.extras_spec
+
 (** Spec-driven entry point: [sp_scale] is the tree shrink divisor
     (larger = smaller tree, default 4); extras [max_nodes]/[dataset] as in
     {!Tree_common.run_spec}. *)

@@ -50,14 +50,18 @@ type stats = {
   load_failures : int;  (** missing, stale-format or corrupt files *)
   stores : int;  (** successful atomic writes *)
   store_failures : int;
+  verify_rejects : int;
+      (** well-formed files whose payload the verifier refused *)
 }
 
 type t = {
   dir : string;
+  verify : (tier:string -> Harness.prep -> (unit, string) result) option;
   loads : int Atomic.t;
   load_failures : int Atomic.t;
   stores : int Atomic.t;
   store_failures : int Atomic.t;
+  verify_rejects : int Atomic.t;
 }
 
 let rec mkdir_p dir =
@@ -69,16 +73,24 @@ let rec mkdir_p dir =
   end
 
 (** [create dir] opens (creating it, parents included) the store rooted
-    at [dir].  @raise Unix.Unix_error when the directory cannot be
-    created. *)
-let create dir =
+    at [dir].  [verify] vets every successfully decoded payload before
+    it is handed out: [Error reason] (or an exception) rejects the file
+    — counted in {!stats}[.verify_rejects], reported on stderr, and
+    degraded to an ordinary miss so the caller re-prepares.  The header
+    digest only guards against {e accidental} corruption; the verifier
+    is what stands between a hand-edited or semantically stale [.prep]
+    and the interpreter.  @raise Unix.Unix_error when the directory
+    cannot be created. *)
+let create ?verify dir =
   mkdir_p dir;
   {
     dir;
+    verify;
     loads = Atomic.make 0;
     load_failures = Atomic.make 0;
     stores = Atomic.make 0;
     store_failures = Atomic.make 0;
+    verify_rejects = Atomic.make 0;
   }
 
 let dir t = t.dir
@@ -89,6 +101,7 @@ let stats t =
     load_failures = Atomic.get t.load_failures;
     stores = Atomic.get t.stores;
     store_failures = Atomic.get t.store_failures;
+    verify_rejects = Atomic.get t.verify_rejects;
   }
 
 (* Keys are MD5 hex digests, but never trust a path component: anything
@@ -202,5 +215,24 @@ let load t ~key ~tier : Harness.prep option =
                 else Some (Marshal.from_string payload 0 : Harness.prep)
             with _ -> None)
       in
-      Atomic.incr (if result = None then t.load_failures else t.loads);
-      result
+      (match result with
+      | None ->
+        Atomic.incr t.load_failures;
+        None
+      | Some prep -> (
+        let verdict =
+          match t.verify with
+          | None -> Ok ()
+          | Some v -> (
+            try v ~tier prep with e -> Error (Printexc.to_string e))
+        in
+        match verdict with
+        | Ok () ->
+          Atomic.incr t.loads;
+          Some prep
+        | Error reason ->
+          Atomic.incr t.verify_rejects;
+          Printf.eprintf
+            "dpc: pstore: verifier rejected %s.prep (%s); re-preparing\n%!"
+            key reason;
+          None))

@@ -17,12 +17,15 @@
 type t
 
 (** Counters since {!create}; loads/stores that degraded to a miss or a
-    no-op are the [_failures]. *)
+    no-op are the [_failures].  [verify_rejects] counts files that
+    decoded cleanly but whose payload the {!create} [verify] hook
+    refused. *)
 type stats = {
   loads : int;
   load_failures : int;
   stores : int;
   store_failures : int;
+  verify_rejects : int;
 }
 
 (** The on-disk format tag ([dpc-kcache-v2]); bump when the serialized
@@ -30,9 +33,18 @@ type stats = {
 val format_version : string
 
 (** Open the store rooted at the given directory, creating it (parents
-    included) when absent.
+    included) when absent.  [verify] vets every successfully decoded
+    payload before {!load} hands it out: [Error reason] (or an
+    exception) rejects the file, counts a [verify_rejects], prints a
+    diagnostic to stderr and degrades to an ordinary miss, so a corrupt,
+    semantically stale or hand-edited [.prep] re-prepares instead of
+    executing.  The header digest only guards accidental corruption;
+    this hook is the trust boundary for everything past it.
     @raise Unix.Unix_error when the directory cannot be created. *)
-val create : string -> t
+val create :
+  ?verify:(tier:string -> Dpc_apps.Harness.prep -> (unit, string) result) ->
+  string ->
+  t
 
 val dir : t -> string
 val stats : t -> stats

@@ -179,6 +179,8 @@ let make ?policy ?(alloc = Alloc.Pool) ?(cfg = "k20c") ?(cfg_overrides = [])
   let cfg = String.lowercase_ascii cfg in
   ignore (cfg_preset_of_string cfg : Cfg.t);
   List.iter (fun (n, _) -> ignore (cfg_field n)) cfg_overrides;
+  Harness.validate_extras ~app:entry.Registry.name
+    ~known:entry.Registry.extras_spec extras;
   {
     app = entry.Registry.name;
     variant;

@@ -32,6 +32,23 @@ type outcome = {
   elapsed_s : float;  (** wall clock of this run, preparation included *)
 }
 
+(* The persistent store's payload verifier: the header digest already
+   guards accidental corruption, so what reaches this point decoded
+   cleanly — re-lint the KIR and, for the bytecode tier, statically
+   verify every lowered instruction stream, so a semantically stale or
+   hand-edited .prep re-prepares instead of executing.  Exceptions out
+   of the checkers (Marshal can produce arbitrarily mangled values) are
+   rejects too, handled inside Pstore. *)
+let verify_prep ~tier (p : Dpc_apps.Harness.prep) : (unit, string) result =
+  match Dpc_check.Tv.lint_errors p.Dpc_apps.Harness.p_prog with
+  | d :: _ -> Error (Dpc_check.Diag.to_string d)
+  | [] -> (
+    if tier <> "bytecode" then Ok ()
+    else
+      match Dpc_check.Bcverify.check p.Dpc_apps.Harness.p_prog with
+      | [] -> Ok ()
+      | d :: _ -> Error (Dpc_check.Diag.to_string d))
+
 type t = {
   cache : Kcache.t option;
   costs : Costs.t;
@@ -60,7 +77,8 @@ let create ?(jobs = 1) ?(sched = Pool.Shared) ?(cache = true) ?persist
       (if cache then
          Some
            (Kcache.create
-              ?persist:(Option.map Pstore.create persist)
+              ?persist:
+                (Option.map (Pstore.create ~verify:verify_prep) persist)
               ())
        else None);
     costs = Costs.create ();
@@ -95,18 +113,40 @@ let cost t sc =
 (** Distinct scenarios this session has timed so far. *)
 let observed_costs t = Costs.observations t.costs
 
+(* Under strict mode every prepared program additionally gets its
+   bytecode streams statically verified at prepare time (fresh builds
+   and cache loads alike); a cache-less strict session still verifies
+   through the pass-through preparer. *)
+let preparer_of t : Dpc_apps.Harness.preparer option =
+  let base =
+    match t.cache with
+    | Some c -> Some (Kcache.preparer c)
+    | None -> if t.strict_check then Some Dpc_apps.Harness.no_cache else None
+  in
+  match base with
+  | Some base when t.strict_check ->
+    Some
+      (fun ~key ~interp ~build ->
+        let ((p, _) as r) = base ~key ~interp ~build in
+        if interp = "bytecode" then
+          Dpc_check.Strict.verify_bytecode p.Dpc_apps.Harness.p_prog;
+        r)
+  | _ -> base
+
 let run_one t (sc : Scenario.t) =
   let entry = Registry.find sc.Scenario.app in
-  let preparer = Option.map Kcache.preparer t.cache in
+  let preparer = preparer_of t in
   let inspect = Option.map (fun f -> f sc) t.inspect in
   let spec = Scenario.to_spec ?preparer ?inspect sc in
   entry.Registry.run_spec spec
 
-(* The strict-finalize hook is domain-local, so it must be (re)installed
-   in whichever domain actually builds the program: around the whole call
-   for a single run, around each task for a batch (tasks execute on pool
-   worker domains the submitting domain's hook never reaches). *)
-let wrap_strict t f = if t.strict_check then Dpc_check.Check.with_strict f else f ()
+(* The strict hooks (finalize linter + transform translation validation)
+   are domain-local, so they must be (re)installed in whichever domain
+   actually builds the program: around the whole call for a single run,
+   around each task for a batch (tasks execute on pool worker domains
+   the submitting domain's hooks never reach). *)
+let wrap_strict t f =
+  if t.strict_check then Dpc_check.Strict.with_strict f else f ()
 
 (** Execute one scenario, capturing its error and wall clock; the
     measured time also feeds the session's online cost table.  This is

@@ -275,6 +275,7 @@ let stats_json t =
               ("load_failures", Json.Int p.Pstore.load_failures);
               ("stores", Json.Int p.Pstore.stores);
               ("store_failures", Json.Int p.Pstore.store_failures);
+              ("verify_rejects", Json.Int p.Pstore.verify_rejects);
             ] );
       ])
 

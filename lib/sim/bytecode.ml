@@ -121,6 +121,8 @@ let fusion_enabled () = !fusion
 (* Register encoding split points. *)
 let tmpb = 0x400000
 
+let temp_base = tmpb
+
 (* --- opcode tables -------------------------------------------------------
 
    Stream ops (operand counts include the opcode itself):
@@ -166,6 +168,25 @@ type bprog = {
   kname : string;
   lanes : int array;  (** FUSE active-lane list scratch (divergent masks) *)
   addrs : int array;  (** memory-op coalescing scratch *)
+}
+
+(** The marshal-safe image of one lowered run: the instruction stream
+    plus every bound an operand can be checked against.  This is what
+    the static bytecode verifier ({!Dpc_check.Bcverify}) consumes —
+    [bprog] itself holds closures and live scratch, so it can neither
+    be persisted nor inspected without executing. *)
+type stream = {
+  s_kname : string;
+  s_code : int array;
+  s_nstmts : int;  (** closure-fallback slots ([CALL] operand space) *)
+  s_nic : int;  (** int constant-pool rows *)
+  s_nfc : int;  (** float constant-pool rows *)
+  s_ntmpi : int;  (** int temp-plane rows *)
+  s_ntmpf : int;  (** float temp-plane rows *)
+  s_nint : int;  (** warp int-plane rows (buffer handles included) *)
+  s_nflt : int;  (** warp float-plane rows *)
+  s_nshared : int;  (** shared arrays in scope *)
+  s_nnames : int;  (** interned shared-name ids *)
 }
 
 (* Lane list for a full mask: the identity, shared by every program. *)
@@ -1538,8 +1559,19 @@ and ls_native l (s : A.stmt) =
 
 (* --- entry points --------------------------------------------------------- *)
 
-let lower_run (env : C.env) (stmts : A.stmt list) :
-    C.cctx -> C.warp -> unit =
+(* Warp register-plane row counts, recovered from the slot storage map
+   (the planes themselves are sized the same way in [Compile]). *)
+let plane_rows (env : C.env) =
+  let ni = ref 0 and nf = ref 0 in
+  Array.iter
+    (function
+      | C.Si r -> if r + 1 > !ni then ni := r + 1
+      | C.Sf r -> if r + 1 > !nf then nf := r + 1
+      | C.Sb _ -> ())
+    env.C.storage;
+  (!ni, !nf)
+
+let lower (env : C.env) (stmts : A.stmt list) : bprog * stream =
   let l =
     {
       env;
@@ -1585,8 +1617,41 @@ let lower_run (env : C.env) (stmts : A.stmt list) :
       addrs = Array.make 32 0;
     }
   in
+  let ni, nf = plane_rows env in
+  let sm =
+    {
+      s_kname = env.C.kname;
+      s_code = bp.code;
+      s_nstmts = l.nstmts;
+      s_nic = l.nic;
+      s_nfc = l.nfc;
+      s_ntmpi = l.max_ti;
+      s_ntmpf = l.max_tf;
+      s_nint = ni;
+      s_nflt = nf;
+      s_nshared = Array.length env.C.shtys;
+      s_nnames = l.nnames;
+    }
+  in
+  (bp, sm)
+
+let lower_run (env : C.env) (stmts : A.stmt list) :
+    C.cctx -> C.warp -> unit =
+  let bp, _ = lower env stmts in
   let len = Array.length bp.code in
   fun c w -> exec bp c w 0 len (C.full_mask w)
 
 let compile_kernel (k : Dpc_kir.Kernel.t) : C.ckernel option =
   C.compile_kernel ~run_lower:lower_run k
+
+let streams_of_kernel (k : Dpc_kir.Kernel.t) : stream list option =
+  let acc = ref [] in
+  let capture env stmts =
+    let bp, sm = lower env stmts in
+    acc := sm :: !acc;
+    let len = Array.length bp.code in
+    fun c w -> exec bp c w 0 len (C.full_mask w)
+  in
+  match C.compile_kernel ~run_lower:capture k with
+  | None -> None
+  | Some _ -> Some (List.rev !acc)

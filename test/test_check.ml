@@ -321,13 +321,21 @@ let test_mutants_cover_all_analyses () =
   in
   Alcotest.(check bool) "at least 8 seeded-bad kernels" true
     (List.length seeded >= 8);
+  let verifier_seeded =
+    List.filter
+      (fun (m : Mutate.mutant) ->
+        m.Mutate.analysis = "tv" || m.Mutate.analysis = "bytecode")
+      seeded
+  in
+  Alcotest.(check bool) "at least 15 seeded tv/bytecode mutants" true
+    (List.length verifier_seeded >= 15);
   List.iter
     (fun analysis ->
       Alcotest.(check bool) (analysis ^ " covered") true
         (List.exists
            (fun (m : Mutate.mutant) -> m.Mutate.analysis = analysis)
            seeded))
-    [ "uniformity"; "races"; "bounds"; "legality" ]
+    [ "uniformity"; "races"; "bounds"; "legality"; "tv"; "bytecode" ]
 
 (* --- the apps stay clean (false-positive regression) ----------------------- *)
 
@@ -343,6 +351,100 @@ let test_apps_lint_clean () =
             (List.map (Diag.to_string ?file:None) ds))
         (e.Dpc_apps.Registry.programs ()))
     Dpc_apps.Registry.all
+
+(* Translation validation accepts every real consolidation of every
+   registered app at every granularity (false-positive envelope for Tv). *)
+let test_tv_apps_clean () =
+  List.iter
+    (fun (e : Dpc_apps.Registry.entry) ->
+      List.iter
+        (fun (variant, parent, orig, r) ->
+          let ds = Dpc_check.Tv.check ~parent ~orig r in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/tv/%s" e.Dpc_apps.Registry.name variant)
+            []
+            (List.map (Diag.to_string ?file:None) ds))
+        (e.Dpc_apps.Registry.tv_units ()))
+    Dpc_apps.Registry.all
+
+(* The bytecode verifier accepts every stream the real lowering produces
+   for every app variant (false-positive envelope for Bcverify). *)
+let test_bcverify_apps_clean () =
+  List.iter
+    (fun (e : Dpc_apps.Registry.entry) ->
+      List.iter
+        (fun (variant, prog) ->
+          let ds = Dpc_check.Bcverify.check prog in
+          Alcotest.(check (list string))
+            (Printf.sprintf "%s/%s/bytecode" e.Dpc_apps.Registry.name
+               variant)
+            []
+            (List.map (Diag.to_string ?file:None) ds))
+        (e.Dpc_apps.Registry.programs ()))
+    Dpc_apps.Registry.all
+
+(* Direct bytecode-verifier units: a truncated FUSE quad (the exact
+   corruption a torn .prep body would induce), an unknown opcode, and a
+   well-formed straight-line stream.  The verifier must diagnose, never
+   raise, and stay silent on the clean stream. *)
+let test_bcverify_direct () =
+  let stream code =
+    {
+      Dpc_sim.Bytecode.s_kname = "unit";
+      s_code = Array.of_list code;
+      s_nstmts = 3;
+      s_nic = 2;
+      s_nfc = 1;
+      s_ntmpi = 2;
+      s_ntmpf = 1;
+      s_nint = 4;
+      s_nflt = 2;
+      s_nshared = 1;
+      s_nnames = 2;
+    }
+  in
+  let check code = Dpc_check.Bcverify.check_stream (stream code) in
+  Alcotest.(check bool) "truncated FUSE quad -> BC02" true
+    (has_id "BC02" (check [ 7; 2; 0; 0; 0; 1; 2 ]));
+  Alcotest.(check bool) "unknown opcode -> BC01" true
+    (has_id "BC01" (check [ 99 ]));
+  Alcotest.(check bool) "register out of range -> BC03" true
+    (has_id "BC03" (check [ 7; 1; 0; 0; 9; 1; 2 ]));
+  Alcotest.(check (list string))
+    "clean stream is silent" []
+    (List.map
+       (Diag.to_string ?file:None)
+       (check [ 7; 1; 0; 0; 0; 1; 2; 8; 0; 1; 3; 12; 0; 2; 2; 1 ]))
+
+(* Strict mode routes Transform.apply through the translation-validation
+   hook: a faithful transform passes silently, and a corrupted result fed
+   to the installed hook raises Check_error. *)
+let test_strict_transform_hook () =
+  Dpc_check.Strict.with_strict (fun () ->
+      ignore
+        (Dpc.Transform.apply ~cfg:Dpc_gpu.Config.k20c
+           ~parent:Mutate.tv_parent
+           (Mutate.tv_prog P.Block)
+          : Dpc.Transform.result));
+  Dpc_check.Strict.with_strict (fun () ->
+      let orig = Mutate.tv_prog P.Block in
+      let r =
+        Dpc.Transform.apply ~cfg:Dpc_gpu.Config.k20c ~parent:Mutate.tv_parent
+          orig
+      in
+      let bad = { r with Dpc.Transform.entry = "tv_no_such_kernel" } in
+      let hook = Dpc.Transform.apply_check () in
+      match hook ~parent:Mutate.tv_parent orig bad with
+      | exception Check.Check_error ds ->
+        Alcotest.(check bool) "TV07 reported" true (has_id "TV07" ds)
+      | () -> Alcotest.fail "corrupted transform accepted under strict");
+  (* Hooks restored: outside with_strict the default hook is a no-op. *)
+  let orig = Mutate.tv_prog P.Block in
+  let r =
+    Dpc.Transform.apply ~cfg:Dpc_gpu.Config.k20c ~parent:Mutate.tv_parent orig
+  in
+  let bad = { r with Dpc.Transform.entry = "tv_no_such_kernel" } in
+  (Dpc.Transform.apply_check ()) ~parent:Mutate.tv_parent orig bad
 
 (* --- JSON report ----------------------------------------------------------- *)
 
@@ -392,5 +494,10 @@ let suite =
     Alcotest.test_case "mutants cover analyses" `Quick
       test_mutants_cover_all_analyses;
     Alcotest.test_case "apps lint clean" `Quick test_apps_lint_clean;
+    Alcotest.test_case "apps tv clean" `Quick test_tv_apps_clean;
+    Alcotest.test_case "apps bytecode clean" `Quick test_bcverify_apps_clean;
+    Alcotest.test_case "bytecode verifier direct" `Quick test_bcverify_direct;
+    Alcotest.test_case "strict transform hook" `Quick
+      test_strict_transform_hook;
     Alcotest.test_case "report json" `Quick test_report_json_roundtrip;
   ]

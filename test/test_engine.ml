@@ -99,6 +99,65 @@ let rejects () =
   inv "missing app" (fun () -> Scenario.of_string "variant=no-dp");
   inv "missing variant" (fun () -> Scenario.of_string "app=SSSP")
 
+(* The scenario extras lint: unknown keys and malformed values are
+   refused at construction (string and JSON codecs included) with a
+   one-line actionable message naming the valid keys. *)
+let extras_lint () =
+  let msg name f =
+    match f () with
+    | exception Invalid_argument m -> m
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
+  in
+  let assert_in name needle m =
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: %S in %S" name needle m)
+      true (contains m needle)
+  in
+  (* Unknown key on an app that declares extras: the valid keys are
+     listed so the fix is in the message. *)
+  let m =
+    msg "unknown key" (fun () ->
+        Scenario.make ~app:"TD" ~extras:[ ("max_node", "5") ] H.Basic)
+  in
+  assert_in "unknown key" "unknown extra \"max_node\"" m;
+  assert_in "unknown key" "max_nodes" m;
+  assert_in "unknown key" "dataset" m;
+  (* Unknown key on an app that takes none says so. *)
+  let m =
+    msg "extras-free app" (fun () ->
+        Scenario.make ~app:"SSSP" ~extras:[ ("bogus", "1") ] H.Basic)
+  in
+  assert_in "extras-free app" "this app takes none" m;
+  (* Malformed values: a non-integer Xint, an out-of-set Xenum token. *)
+  let m =
+    msg "bad int" (fun () ->
+        Scenario.make ~app:"TD" ~extras:[ ("max_nodes", "lots") ] H.Basic)
+  in
+  assert_in "bad int" "expected an integer" m;
+  let m =
+    msg "bad enum" (fun () ->
+        Scenario.make ~app:"TH" ~extras:[ ("dataset", "dataset9") ] H.Basic)
+  in
+  assert_in "bad enum" "expected one of" m;
+  assert_in "bad enum" "dataset1, dataset2" m;
+  (* The codecs route through the same lint. *)
+  let m =
+    msg "string codec" (fun () ->
+        Scenario.of_string "app=TD,variant=no-dp,x.max_nodes=lots")
+  in
+  assert_in "string codec" "expected an integer" m;
+  (* And well-formed extras still pass. *)
+  ignore
+    (Scenario.make ~app:"TD"
+       ~extras:[ ("max_nodes", "4000"); ("dataset", "dataset1") ]
+       H.Basic
+      : Scenario.t)
+
 (* The sweep-file decoder takes bare lists, {"scenarios": ...} objects,
    and mixes of canonical strings and scenario objects. *)
 let sweep_decode () =
@@ -163,9 +222,12 @@ let fresh_sessions_identical () =
 let run_all_outcomes () =
   let ok1 = Scenario.make ~app:"SSSP" ~scale:300 ~seed:1 (H.Cons Pragma.Grid) in
   let ok2 = Scenario.make ~app:"SSSP" ~scale:300 ~seed:2 (H.Cons Pragma.Grid) in
+  (* Bogus extras are now refused eagerly at [make] (see [extras_lint]),
+     so the runtime failure here is an explicit policy with a zero block
+     dim: constructible, but the device math rejects it mid-run. *)
   let bad =
     Scenario.make ~app:"SSSP" ~scale:300
-      ~extras:[ ("bogus", "1") ]
+      ~policy:(Dpc.Config_select.Explicit (1, 0))
       (H.Cons Pragma.Grid)
   in
   let s = Session.create () in
@@ -174,9 +236,9 @@ let run_all_outcomes () =
     Alcotest.(check bool) "first ok" true (Result.is_ok o1.Session.result);
     Alcotest.(check bool) "third ok" true (Result.is_ok o2.Session.result);
     (match o_bad.Session.result with
-    | Error (Invalid_argument _) -> ()
+    | Error (Dpc_sim.Runtime.Sim_error _) -> ()
     | Error e -> Alcotest.failf "unexpected error %s" (Printexc.to_string e)
-    | Ok _ -> Alcotest.fail "bogus extra accepted");
+    | Ok _ -> Alcotest.fail "zero-thread policy accepted");
     Alcotest.check scenario_t "outcome tags scenario" bad
       o_bad.Session.scenario
   | _ -> Alcotest.fail "outcome arity"
@@ -296,6 +358,7 @@ let suite =
       codec_roundtrip_rich;
     Alcotest.test_case "canonical identity" `Quick canonical_identity;
     Alcotest.test_case "codec rejects" `Quick rejects;
+    Alcotest.test_case "extras lint" `Quick extras_lint;
     Alcotest.test_case "sweep decode" `Quick sweep_decode;
     Alcotest.test_case "cache hit deterministic" `Quick
       cache_hit_deterministic;

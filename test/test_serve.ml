@@ -322,6 +322,86 @@ let pstore_key_hygiene () =
   Alcotest.(check bool) "malformed tier refused on store" false
     (Pstore.store st ~key ~tier:"two words" prep)
 
+(* The verifier is the Pstore trust boundary.  The degrade matrix: a
+   decodable .prep whose payload fails re-verification (a planted
+   lint-bad body — valid header, valid digest), a tier-mismatched v2
+   stream, and a verifier that itself raises must all degrade to a
+   re-prepare with byte-identical metrics — never a crash, never an
+   executed stale program — and the semantic rejections bump
+   [verify_rejects], not [load_failures].  (A truncated FUSE quad cannot
+   reach a stored .prep — streams are re-derived from KIR at load — so
+   that leg of the matrix lives in the direct bytecode-verifier units in
+   test_check.ml.) *)
+let pstore_verify_degrade_matrix () =
+  with_temp_dir "dpc-pstore" @@ fun dir ->
+  let _, ra = run_one ~persist:dir sc_a in
+  let key =
+    match
+      List.filter_map
+        (fun f -> Filename.chop_suffix_opt ~suffix:".prep" f)
+        (Array.to_list (Sys.readdir dir))
+    with
+    | [ k ] -> k
+    | _ -> Alcotest.fail "expected one .prep file"
+  in
+  let tier = "compiled" in
+  (* Plant a semantically bad prep under the real key: the header and
+     digest are valid (a raw verify-less store wrote it), but the body's
+     kernel puts a barrier under a thread-divergent branch — something
+     only the semantic verifier can catch. *)
+  let raw = Pstore.create dir in
+  let good = Option.get (Pstore.load raw ~key ~tier) in
+  let bad_prog =
+    let open Dpc_kir.Build in
+    let prog = Dpc_kir.Kernel.Program.create () in
+    Dpc_kir.Kernel.Program.add prog
+      (kernel ~name:good.H.p_entry ~params:[ p "n" ]
+         [ if_then (tid <: v "n") [ sync ] ]);
+    Dpc_kir.Kernel.Program.finalize prog;
+    prog
+  in
+  Alcotest.(check bool) "planted bad prep stored" true
+    (Pstore.store raw ~key ~tier { good with H.p_prog = bad_prog });
+  let sb, rb = run_one ~persist:dir sc_a in
+  let cs = Session.cache_stats sb in
+  let ps = Option.get (Session.persist_stats sb) in
+  Alcotest.(check int) "planted: verifier rejected it" 1
+    ps.Pstore.verify_rejects;
+  Alcotest.(check int) "planted: decode itself was fine" 0
+    ps.Pstore.load_failures;
+  Alcotest.(check int) "planted: no disk hit" 0 cs.Kcache.disk_hits;
+  Alcotest.(check int) "planted: re-prepared fresh" 1 cs.Kcache.misses;
+  Alcotest.(check string) "planted: metrics byte-identical" ra rb;
+  (* That re-prepare re-published a good file.  A tier-mismatched load is
+     refused by the header guard before the verifier is ever consulted. *)
+  let consulted = ref false in
+  let vetting =
+    Pstore.create
+      ~verify:(fun ~tier:_ _ ->
+        consulted := true;
+        Ok ())
+      dir
+  in
+  Alcotest.(check bool) "good file loads through the verifier" true
+    (Option.is_some (Pstore.load vetting ~key ~tier));
+  Alcotest.(check bool) "verifier consulted on tier match" true !consulted;
+  consulted := false;
+  Alcotest.(check bool) "tier-mismatched stream never loads" true
+    (Option.is_none (Pstore.load vetting ~key ~tier:"bytecode"));
+  Alcotest.(check bool) "tier mismatch short-circuits the verifier" false
+    !consulted;
+  (* A verifier that raises is contained: ordinary miss, counted as a
+     verify reject, not a decode failure. *)
+  let throwing =
+    Pstore.create ~verify:(fun ~tier:_ _ -> failwith "boom") dir
+  in
+  Alcotest.(check bool) "throwing verifier degrades to a miss" true
+    (Option.is_none (Pstore.load throwing ~key ~tier));
+  Alcotest.(check int) "exception counted as verify reject" 1
+    (Pstore.stats throwing).Pstore.verify_rejects;
+  Alcotest.(check int) "exception is not a decode failure" 0
+    (Pstore.stats throwing).Pstore.load_failures
+
 (* --- the daemon ------------------------------------------------------------- *)
 
 let with_server ?(configure = fun c -> c) f =
@@ -498,6 +578,8 @@ let suite =
     Alcotest.test_case "pstore concurrent writers" `Quick
       pstore_concurrent_writers;
     Alcotest.test_case "pstore key hygiene" `Quick pstore_key_hygiene;
+    Alcotest.test_case "pstore verify degrade matrix" `Quick
+      pstore_verify_degrade_matrix;
     Alcotest.test_case "server sweep identity" `Quick server_sweep_identity;
     Alcotest.test_case "server isolates failures" `Quick server_isolation;
     Alcotest.test_case "server concurrent clients" `Quick
