@@ -1106,18 +1106,193 @@ let bench_interp_sweep ~out () =
     (fun () -> output_string oc (Json.to_string_pretty j));
   Printf.printf "bench: interp sweep -> %s\n" out
 
+(* --- 7. the memory-model sweep (BENCH_pr10.json) ---------------------------- *)
+
+(* The evaluation suite behind figs 7-10 re-collected under each device
+   preset.  [k20c] is the paper's flat memory model; the deep presets
+   additionally charge shared-memory bank-conflict replays and MSHR
+   occupancy stalls and issue up to two instructions per warp per cycle,
+   which reprices the consolidation granularities differently per app —
+   so the best granularity can shift.  The sweep records every
+   (preset, app, variant) report, each app's fastest consolidated
+   variant under each preset, and the winner shifts relative to [k20c]
+   (the "crossovers").  The deep presets must actually engage the new
+   accounting (nonzero replay/stall totals) and [k20c] must not (both
+   totals exactly zero) or the bench fails loudly. *)
+module Suite = Dpc_experiments.Suite
+
+let memmodel_presets = [ "k20c"; "k20c-deep"; "milo832" ]
+
+let bench_memmodel_sweep ~out () =
+  let cons = [ H.Cons Pragma.Warp; H.Cons Pragma.Block; grid ] in
+  let suites =
+    List.map
+      (fun preset ->
+        ( preset,
+          Suite.collect ~verbose:false ~cfg:preset
+            ~jobs:(Pool.default_jobs ()) () ))
+      memmodel_presets
+  in
+  (* Fastest consolidated variant by simulated cycles; ties (which the
+     deterministic simulator reproduces exactly) go to the coarser
+     granularity last in [cons], matching the paper's preference. *)
+  let best row =
+    List.fold_left
+      (fun (bv, bc) v ->
+        let c = (Suite.report_of row v).M.cycles in
+        if c <= bc then (v, c) else (bv, bc))
+      (H.Cons Pragma.Warp, (Suite.report_of row (H.Cons Pragma.Warp)).M.cycles)
+      cons
+    |> fst
+  in
+  let winners s = List.map (fun row -> (row.Suite.app, best row)) s in
+  let totals s =
+    List.fold_left
+      (fun (br, ms) row ->
+        List.fold_left
+          (fun (br, ms) (_, r) ->
+            (br + r.M.bank_conflict_replays, ms + r.M.mshr_stalls))
+          (br, ms) row.Suite.results)
+      (0, 0) s
+  in
+  let base = winners (List.assoc "k20c" suites) in
+  let crossovers =
+    List.concat_map
+      (fun (preset, s) ->
+        if preset = "k20c" then []
+        else
+          List.filter_map
+            (fun (app, w) ->
+              let w0 = List.assoc app base in
+              if w0 <> w then Some (preset, app, w0, w) else None)
+            (winners s))
+      suites
+  in
+  List.iter
+    (fun (preset, s) ->
+      let br, ms = totals s in
+      if preset = "k20c" then begin
+        if br <> 0 || ms <> 0 then
+          failwith "memmodel sweep: flat k20c accrued deep-model counters"
+      end
+      else if br = 0 && ms = 0 then
+        failwith
+          (Printf.sprintf
+             "memmodel sweep: deep preset %s never engaged the new accounting"
+             preset))
+    suites;
+  if crossovers = [] then
+    failwith "memmodel sweep: no granularity crossover shifted under the deep presets";
+  let t =
+    Table.create ~title:"Memory-model sweep: fastest consolidation granularity"
+      ~headers:("benchmark" :: memmodel_presets)
+      ~aligns:(Table.Left :: List.map (fun _ -> Table.Right) memmodel_presets)
+      ()
+  in
+  List.iter
+    (fun (app, _) ->
+      Table.add_row t
+        (app
+        :: List.map
+             (fun (_, s) ->
+               let row = List.find (fun r -> r.Suite.app = app) s in
+               H.variant_to_string (best row))
+             suites))
+    base;
+  Table.print t;
+  List.iter
+    (fun (preset, app, w0, w) ->
+      Printf.printf "  crossover: %-6s %-22s k20c=%s -> %s\n" app preset
+        (H.variant_to_string w0) (H.variant_to_string w))
+    crossovers;
+  print_newline ();
+  let report_json (r : M.report) =
+    Json.Obj
+      [
+        ("cycles", Json.Float r.M.cycles);
+        ("dram_transactions", Json.Int r.M.dram_transactions);
+        ("l2_hits", Json.Int r.M.l2_hits);
+        ("bank_conflict_replays", Json.Int r.M.bank_conflict_replays);
+        ("mshr_stalls", Json.Int r.M.mshr_stalls);
+        ("device_launches", Json.Int r.M.device_launches);
+      ]
+  in
+  let preset_json (preset, s) =
+    let br, ms = totals s in
+    ( preset,
+      Json.Obj
+        [
+          ( "apps",
+            Json.Obj
+              (List.map
+                 (fun row ->
+                   ( row.Suite.app,
+                     Json.Obj
+                       [
+                         ( "variants",
+                           Json.Obj
+                             (List.map
+                                (fun (v, r) ->
+                                  (H.variant_to_string v, report_json r))
+                                row.Suite.results) );
+                         ( "best",
+                           Json.String (H.variant_to_string (best row)) );
+                       ] ))
+                 s) );
+          ( "totals",
+            Json.Obj
+              [
+                ("bank_conflict_replays", Json.Int br);
+                ("mshr_stalls", Json.Int ms);
+              ] );
+        ] )
+  in
+  let j =
+    Json.Obj
+      [
+        ("schema", Json.String "dpc-memmodel-bench-v1");
+        ("source", Json.String "bench/main.exe --memmodel-sweep");
+        ( "note",
+          Json.String
+            "figs 7-10 evaluation suite per device preset; 'crossovers' \
+             lists apps whose fastest consolidation granularity shifts \
+             versus the flat k20c model" );
+        ("presets", Json.Obj (List.map preset_json suites));
+        ( "crossovers",
+          Json.List
+            (List.map
+               (fun (preset, app, w0, w) ->
+                 Json.Obj
+                   [
+                     ("preset", Json.String preset);
+                     ("app", Json.String app);
+                     ("k20c_best", Json.String (H.variant_to_string w0));
+                     ("best", Json.String (H.variant_to_string w));
+                   ])
+               crossovers) );
+        ("crossover_count", Json.Int (List.length crossovers));
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Json.to_string_pretty j));
+  Printf.printf "bench: memmodel sweep -> %s\n" out
+
 let () =
   (* --smoke: the reduced CI run — bechamel rows at a small quota, no
      ablation sweeps.  --cache-sweep: only the compiled-kernel cache
      sweep.  --sched-sweep: only the pool-scheduler sweep.
      --serve-sweep: only the serve-daemon sweep.  --interp-sweep: only
-     the interpreter-tier sweep.  Default: full microbenchmarks +
+     the interpreter-tier sweep.  --memmodel-sweep: only the
+     memory-model preset sweep.  Default: full microbenchmarks +
      ablations + all sweeps. *)
   let smoke = Array.exists (( = ) "--smoke") Sys.argv in
   let cache_only = Array.exists (( = ) "--cache-sweep") Sys.argv in
   let sched_only = Array.exists (( = ) "--sched-sweep") Sys.argv in
   let serve_only = Array.exists (( = ) "--serve-sweep") Sys.argv in
   let interp_only = Array.exists (( = ) "--interp-sweep") Sys.argv in
+  let memmodel_only = Array.exists (( = ) "--memmodel-sweep") Sys.argv in
   if smoke then begin
     run_bechamel ~quota:0.05 ();
     print_endline "bench: smoke done"
@@ -1126,6 +1301,7 @@ let () =
   else if sched_only then bench_sched_sweep ~out:"BENCH_pr6.json" ()
   else if serve_only then bench_serve_sweep ~out:"BENCH_pr7.json" ()
   else if interp_only then bench_interp_sweep ~out:"BENCH_pr8.json" ()
+  else if memmodel_only then bench_memmodel_sweep ~out:"BENCH_pr10.json" ()
   else begin
     (* Microbenchmarks stay serial (they measure wall time); the ablation
        sweeps fan out over the shared session's domains. *)
@@ -1142,5 +1318,6 @@ let () =
     bench_cache_sweep ~out:"BENCH_pr5.json" ();
     bench_serve_sweep ~out:"BENCH_pr7.json" ();
     bench_interp_sweep ~out:"BENCH_pr8.json" ();
+    bench_memmodel_sweep ~out:"BENCH_pr10.json" ();
     print_endline "bench: done (see bin/experiments.exe for the paper figures)"
   end

@@ -16,6 +16,13 @@ committed baseline (ci/experiments_baseline.json):
             members that legitimately differ between producers — e.g.
             the "source" tag when diffing a dpc-client snapshot against
             an `experiments --sweep` one.  Repeatable.
+  --require-zero KEY
+            additionally assert that every occurrence of KEY in the
+            fresh document is exactly 0.  Used to pin the deep
+            memory-model counters (bank_conflict_replays, mshr_stalls)
+            to zero on the features-off default preset, so default
+            exports stay byte-identical to pre-deep-model releases.
+            Repeatable.
 
 Exit code 0 on success, 1 with a path-qualified report on mismatch.
 """
@@ -50,6 +57,17 @@ def walk(base, fresh, path, errors, exact, ignore):
         errors.append(f"{path}: value {base!r} -> {fresh!r}")
 
 
+def check_zeros(doc, path, errors, keys):
+    if isinstance(doc, dict):
+        for k, v in doc.items():
+            if k in keys and v != 0:
+                errors.append(f"{path}.{k}: expected 0, got {v!r}")
+            check_zeros(v, f"{path}.{k}", errors, keys)
+    elif isinstance(doc, list):
+        for i, v in enumerate(doc):
+            check_zeros(v, f"{path}[{i}]", errors, keys)
+
+
 def main():
     ap = argparse.ArgumentParser()
     ap.add_argument("baseline")
@@ -59,6 +77,10 @@ def main():
     ap.add_argument("--ignore", action="append", default=[], metavar="KEY",
                     help="skip this object key anywhere in both documents "
                          "(repeatable)")
+    ap.add_argument("--require-zero", action="append", default=[],
+                    metavar="KEY",
+                    help="every occurrence of KEY in the fresh document "
+                         "must be exactly 0 (repeatable)")
     args = ap.parse_args()
 
     with open(args.baseline) as fh:
@@ -68,6 +90,8 @@ def main():
 
     errors = []
     walk(base, fresh, "$", errors, args.exact, frozenset(args.ignore))
+    if args.require_zero:
+        check_zeros(fresh, "$", errors, frozenset(args.require_zero))
     if errors:
         kind = "exact" if args.exact else "schema"
         print(f"metrics {kind} check FAILED ({len(errors)} mismatches):")

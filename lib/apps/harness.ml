@@ -71,19 +71,27 @@ type ckernels = (string, Dpc_sim.Compile.ckernel option) Hashtbl.t
 
 (** Cache hook threaded through {!prepare}: given the variant's stable
     [key], the effective interpreter-tier tag [interp] (see
-    {!Dpc_sim.Interp.mode_to_string}) and a [build] thunk, return the
-    (possibly memoized) {!prep} and optionally a compiled-kernel table to
-    seed the device's session with (see
-    {!Dpc_sim.Interp.create_session}).  The tier tag is already folded
-    into [key], so tiers never share cache entries — it is passed
-    separately so persistent stores can also stamp it into their on-disk
-    headers.  The default, {!no_cache}, always builds fresh and seeds
-    nothing. *)
+    {!Dpc_sim.Interp.mode_to_string}), the device-config digest [cfgkey]
+    (see {!cfg_digest}) and a [build] thunk, return the (possibly
+    memoized) {!prep} and optionally a compiled-kernel table to seed the
+    device's session with (see {!Dpc_sim.Interp.create_session}).  The
+    tier tag and config are already folded into [key], so tiers and
+    presets never share cache entries — they are passed separately so
+    persistent stores can also stamp them into their on-disk headers
+    (a cache directory keyed under one preset then never serves a
+    payload to another even if the key scheme changes).  The default,
+    {!no_cache}, always builds fresh and seeds nothing. *)
 type preparer =
-  key:string -> interp:string -> build:(unit -> prep) ->
+  key:string -> interp:string -> cfgkey:string -> build:(unit -> prep) ->
   prep * ckernels option
 
-let no_cache : preparer = fun ~key:_ ~interp:_ ~build -> (build (), None)
+let no_cache : preparer =
+ fun ~key:_ ~interp:_ ~cfgkey:_ ~build -> (build (), None)
+
+(** Stable digest of a device config — the [cfgkey] a {!preparer}
+    receives, and the [cfg=] field of persistent-store headers. *)
+let cfg_digest (cfg : Cfg.t) =
+  Digest.to_hex (Digest.string (Marshal.to_string cfg []))
 
 (** Stable cache key of a program build: digest of everything the cached
     artifact depends on — variant tag, full source text (which already
@@ -245,7 +253,8 @@ let prepare_spec (s : spec) ~(source : Pragma.granularity -> string)
     let build () =
       { p_prog = Parser.parse_program src; p_entry = parent; p_trans = None }
     in
-    instantiate s (s.sp_preparer ~key ~interp ~build)
+    instantiate s
+      (s.sp_preparer ~key ~interp ~cfgkey:(cfg_digest s.sp_cfg) ~build)
   | Cons g ->
     let src = source g in
     let interp = spec_interp_tag s in
@@ -259,7 +268,8 @@ let prepare_spec (s : spec) ~(source : Pragma.granularity -> string)
       { p_prog = r.Transform.program; p_entry = r.Transform.entry;
         p_trans = Some r }
     in
-    instantiate s (s.sp_preparer ~key ~interp ~build)
+    instantiate s
+      (s.sp_preparer ~key ~interp ~cfgkey:(cfg_digest s.sp_cfg) ~build)
 
 let prepare_flat_spec (s : spec) ~(source : string) ~entry : prepared =
   let interp = spec_interp_tag s in
@@ -270,7 +280,8 @@ let prepare_flat_spec (s : spec) ~(source : string) ~entry : prepared =
   let build () =
     { p_prog = Parser.parse_program source; p_entry = entry; p_trans = None }
   in
-  instantiate s (s.sp_preparer ~key ~interp ~build)
+  instantiate s
+    (s.sp_preparer ~key ~interp ~cfgkey:(cfg_digest s.sp_cfg) ~build)
 
 (* Back-compat wrappers over the spec-driven path. *)
 

@@ -1,6 +1,12 @@
 (** Sparse Matrix-Vector multiplication (CSR scalar kernel, after
     Greathouse-Daga [14]): one thread per row; long rows are delegated to
-    a cooperative child kernel that accumulates with [atomicAdd].
+    a cooperative child kernel that gathers partial products into shared
+    memory and combines them on a designated thread.  The partials are
+    scattered with a stride of four words ([part[4*t]] — the textbook
+    strided-layout shared-memory access whose lanes collide four to a
+    bank), so the deep memory-model presets charge bank-conflict replays
+    on every partial store while the static race checker can still prove
+    the strided indexes thread-distinct.
 
     Dataset: citeseer_like used as a sparse matrix (values = weights). *)
 
@@ -17,12 +23,25 @@ let dp_source gran =
   Printf.sprintf
     {|
 __global__ void spmv_child(int* row_ptr, int* col, float* vals, float* x, float* y, int row) {
+  __shared__ float part[256];
   var t = threadIdx.x;
-  var start = row_ptr[row];
+  var acc = 0.0f;
+  var k = row_ptr[row] + t;
   var end = row_ptr[row + 1];
-  while (start + t < end) {
-    atomicAdd(y, row, vals[start + t] * x[col[start + t]]);
-    t = t + blockDim.x;
+  while (k < end) {
+    acc = acc + vals[k] * x[col[k]];
+    k = k + blockDim.x;
+  }
+  part[threadIdx.x * 4] = acc;
+  __syncthreads();
+  if (t == 0) {
+    var tot = 0.0f;
+    var j = 0;
+    while (j < blockDim.x) {
+      tot = tot + part[j * 4];
+      j = j + 1;
+    }
+    atomicAdd(y, row, tot);
   }
 }
 __global__ void spmv_parent(int* row_ptr, int* col, float* vals, float* x, float* y, int n, int threshold) {

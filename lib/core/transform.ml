@@ -250,8 +250,19 @@ let alloc_stmts (pragma : Pragma.t) ~nvars ~buf ~cnt : A.stmt list =
    one store per work variable (Fig. 2(b)).  If the reserved slot is beyond
    the buffer's capacity, the thread falls back to launching the original
    (unconsolidated) child directly — consolidation degrades gracefully
-   instead of corrupting memory when the perBufferSize prediction is low. *)
-let insertion_stmts (site : site) ~buf ~cnt : A.stmt list =
+   instead of corrupting memory when the perBufferSize prediction is low.
+
+   [overflow_post] is the parent's postwork when that postwork is
+   buffer-driven (a grid-level postwork kernel, or the inline
+   buffer-striding loop of recursive warp/block consolidation): those
+   loops only visit buffered items, so an overflowed item's postwork
+   would be silently skipped.  The fallback therefore waits for its
+   direct launch and runs the item's postwork itself, with the work
+   variables still bound at the launch site — exactly the basic-DP
+   per-thread behavior the fallback degrades to.  When the postwork
+   stays in place per thread (non-recursive warp/block), it already
+   covers overflowed items and [overflow_post] must be [None]. *)
+let insertion_stmts ?overflow_post (site : site) ~buf ~cnt : A.stmt list =
   let direct_launch =
     A.Launch
       {
@@ -279,7 +290,11 @@ let insertion_stmts (site : site) ~buf ~cnt : A.stmt list =
             A.Store
               (evar buf, (evar pos_name *: vint site.nvars) +: vint k, evar w))
           site.pragma.Pragma.work,
-        [ direct_launch ] );
+        direct_launch
+        ::
+        (match overflow_post with
+        | None -> []
+        | Some pw -> A.Device_sync :: pw) );
   ]
 
 let barrier_stmts = function
@@ -475,9 +490,10 @@ let launch_in_block (body : A.stmt list) =
     body
 
 (* Rewrite a body replacing the annotated launch with buffer insertions
-   (and optionally substituting specials, for the recursive fetch body). *)
-let replace_launch_with_insertions ?(specials = fun _ -> None) (site : site)
-    ~buf ~cnt (body : A.stmt list) : A.stmt list =
+   (and optionally substituting specials, for the recursive fetch body).
+   [overflow_post] as in {!insertion_stmts}. *)
+let replace_launch_with_insertions ?(specials = fun _ -> None) ?overflow_post
+    (site : site) ~buf ~cnt (body : A.stmt list) : A.stmt list =
   let hooks =
     {
       R.no_hooks with
@@ -491,7 +507,7 @@ let replace_launch_with_insertions ?(specials = fun _ -> None) (site : site)
             Some
               (R.rw_block
                  { R.no_hooks with R.special = specials }
-                 (insertion_stmts site ~buf ~cnt))
+                 (insertion_stmts ?overflow_post site ~buf ~cnt))
           | None -> None);
     }
   in
@@ -673,7 +689,18 @@ let apply ?policy ~(cfg : Cfg.t) ~(parent : string) (prog : K.Program.t) :
         parent;
     let buf = buf_param and cnt = cnt_param in
     let c_cons = make_consolidated_child site child ~name:cons in
-    let prefix' = replace_launch_with_insertions site ~buf ~cnt prefix in
+    (* Grid-level postwork runs in a kernel over the buffered items, so
+       overflowed items must self-handle their postwork at the fallback
+       site; warp/block postwork stays in place per thread and already
+       covers them. *)
+    let overflow_post =
+      match (postwork, gran) with
+      | Some pw, Pragma.Grid -> Some (R.rw_block R.no_hooks pw)
+      | _ -> None
+    in
+    let prefix' =
+      replace_launch_with_insertions ?overflow_post site ~buf ~cnt prefix
+    in
     let post_kernel, designated_post, tail =
       match postwork with
       | None -> (None, None, [])
@@ -733,10 +760,16 @@ let apply ?policy ~(cfg : Cfg.t) ~(parent : string) (prog : K.Program.t) :
         parent;
     let uniform_params = uniform_params_of site child in
     let buf = buf_next and cnt = cnt_next in
+    (* Every recursive postwork is buffer-driven (the grid-level postwork
+       kernel, or the inline buffer-striding loop at warp/block level), so
+       an overflowed item always self-handles its postwork. *)
+    let overflow_post =
+      Option.map (fun pw -> R.rw_block R.no_hooks pw) postwork
+    in
     let prefix' =
       replace_launch_with_insertions
         ~specials:(shape_specials site.shape)
-        site ~buf ~cnt prefix
+        ?overflow_post site ~buf ~cnt prefix
     in
     let bindings it = fetch_bindings site child ~buf:buf_param it in
     let wrapped = wrap_fetch site ~cnt:cnt_param ~bindings prefix' in

@@ -90,9 +90,9 @@ let ckernels_for cache key =
    build only when it cannot help, and write fresh builds back.  Disk
    I/O runs under the lock too — publication order must match the
    in-memory table, and the store's own writes are already atomic. *)
-let build_or_load cache key tier build =
+let build_or_load cache key tier cfgkey build =
   match
-    Option.bind cache.persist (fun ps -> Pstore.load ps ~key ~tier)
+    Option.bind cache.persist (fun ps -> Pstore.load ps ~key ~tier ~cfgkey)
   with
   | Some p ->
     Atomic.incr cache.disk_hits;
@@ -106,18 +106,20 @@ let build_or_load cache key tier build =
     Dpc_kir.Kernel.Program.finalize p.Harness.p_prog;
     Option.iter
       (fun ps ->
-        if Pstore.store ps ~key ~tier p then Atomic.incr cache.disk_writes)
+        if Pstore.store ps ~key ~tier ~cfgkey p then
+          Atomic.incr cache.disk_writes)
       cache.persist;
     p
 
 (** The cache as a {!Harness.preparer}: memoizes the program build and
     seeds the session with this domain's compiled-kernel table.  The
-    interpreter tier is already folded into [key] (so closure and
-    bytecode lowerings never share a prep entry or a ckernel table); the
-    explicit [interp] tag additionally stamps persistent-store headers
-    so on-disk files are self-describing. *)
+    interpreter tier and device config are already folded into [key]
+    (so closure and bytecode lowerings never share a prep entry or a
+    ckernel table, and presets never share preps); the explicit
+    [interp] and [cfgkey] tags additionally stamp persistent-store
+    headers so on-disk files are self-describing. *)
 let preparer cache : Harness.preparer =
- fun ~key ~interp ~build ->
+ fun ~key ~interp ~cfgkey ~build ->
   let prep =
     Mutex.protect cache.lock (fun () ->
         match Hashtbl.find_opt cache.preps key with
@@ -125,7 +127,7 @@ let preparer cache : Harness.preparer =
           Atomic.incr cache.hits;
           p
         | None ->
-          let p = build_or_load cache key interp build in
+          let p = build_or_load cache key interp cfgkey build in
           Hashtbl.replace cache.preps key p;
           p)
   in

@@ -15,20 +15,22 @@
 
     Each file is a one-line header followed by an [Marshal] payload:
 
-    {v dpc-kcache-v2 ocaml=<version> tier=<interp tier> md5=<payload digest> len=<bytes> v}
+    {v dpc-kcache-v3 ocaml=<version> tier=<interp tier> cfg=<config digest> md5=<payload digest> len=<bytes> v}
 
     The header is the {b format-version guard}: a reader rejects (and a
-    later write replaces) any file whose format tag, OCaml version or
-    interpreter tier differs — [Marshal] images are not portable across
-    compiler versions, and the KIR types may change shape across repo
-    versions (bump {!format_version} when they do).  The tier tag names
-    the interpreter back end the entry was prepared for: the tier is
-    already folded into the content-addressed key, so distinct tiers
-    occupy distinct files, but stamping it in the header as well means a
-    mixed-tier cache directory (or a key scheme change) degrades to an
-    ordinary re-prepare instead of silently serving one tier's artifact
-    to another.  The digest and length reject truncated or corrupted
-    payloads before unmarshalling.
+    later write replaces) any file whose format tag, OCaml version,
+    interpreter tier or device-config digest differs — [Marshal] images
+    are not portable across compiler versions, and the KIR types may
+    change shape across repo versions (bump {!format_version} when they
+    do).  The tier tag names the interpreter back end the entry was
+    prepared for, the cfg digest the device preset it was built under
+    ({!Dpc_apps.Harness.cfg_digest}): both are already folded into the
+    content-addressed key, so distinct tiers and presets occupy
+    distinct files, but stamping them in the header as well means a
+    mixed cache directory (or a key scheme change) degrades to an
+    ordinary re-prepare instead of silently serving one tier's or one
+    preset's artifact to another.  The digest and length reject
+    truncated or corrupted payloads before unmarshalling.
 
     {b Writes are atomic}: the payload goes to a process-unique temp
     file in the same directory, then [Sys.rename]s over the final name.
@@ -43,7 +45,7 @@
 
 module Harness = Dpc_apps.Harness
 
-let format_version = "dpc-kcache-v2"
+let format_version = "dpc-kcache-v3"
 
 type stats = {
   loads : int;  (** successful loads *)
@@ -122,17 +124,20 @@ let valid_tier tier =
        (function 'a' .. 'z' | '0' .. '9' | '-' -> true | _ -> false)
        tier
 
-let header ~tier ~payload =
-  Printf.sprintf "%s ocaml=%s tier=%s md5=%s len=%d\n" format_version
-    Sys.ocaml_version tier
+(* Config digests are MD5 hex like keys; refuse anything else. *)
+let valid_cfgkey = valid_key
+
+let header ~tier ~cfgkey ~payload =
+  Printf.sprintf "%s ocaml=%s tier=%s cfg=%s md5=%s len=%d\n" format_version
+    Sys.ocaml_version tier cfgkey
     (Digest.to_hex (Digest.string payload))
     (String.length payload)
 
-(** Serialize [prep] under [key] for interpreter tier [tier].  Returns
-    [false] (and counts a store failure) instead of raising on any I/O
-    problem. *)
-let store t ~key ~tier (prep : Harness.prep) =
-  if not (valid_key key && valid_tier tier) then begin
+(** Serialize [prep] under [key] for interpreter tier [tier] built under
+    device config [cfgkey].  Returns [false] (and counts a store
+    failure) instead of raising on any I/O problem. *)
+let store t ~key ~tier ~cfgkey (prep : Harness.prep) =
+  if not (valid_key key && valid_tier tier && valid_cfgkey cfgkey) then begin
     Atomic.incr t.store_failures;
     false
   end
@@ -148,7 +153,7 @@ let store t ~key ~tier (prep : Harness.prep) =
         Fun.protect
           ~finally:(fun () -> close_out_noerr oc)
           (fun () ->
-            output_string oc (header ~tier ~payload);
+            output_string oc (header ~tier ~cfgkey ~payload);
             output_string oc payload);
         Sys.rename tmp (path_of t key);
         true
@@ -160,12 +165,12 @@ let store t ~key ~tier (prep : Harness.prep) =
     ok
   end
 
-(* Header parse: [format_version ocaml=V tier=T md5=HEX len=N].  Any
-   deviation means "not ours / not this version / not this tier" and the
-   load degrades to a miss. *)
-let parse_header ~tier line =
+(* Header parse: [format_version ocaml=V tier=T cfg=HEX md5=HEX len=N].
+   Any deviation means "not ours / not this version / not this tier /
+   not this device config" and the load degrades to a miss. *)
+let parse_header ~tier ~cfgkey line =
   match String.split_on_char ' ' line with
-  | [ tag; ocaml; htier; md5; len ] -> (
+  | [ tag; ocaml; htier; hcfg; md5; len ] -> (
     let field prefix s =
       let p = prefix ^ "=" in
       let pl = String.length p in
@@ -174,25 +179,27 @@ let parse_header ~tier line =
       else None
     in
     match
-      (field "ocaml" ocaml, field "tier" htier, field "md5" md5,
-       field "len" len)
+      (field "ocaml" ocaml, field "tier" htier, field "cfg" hcfg,
+       field "md5" md5, field "len" len)
     with
-    | Some ov, Some tv, Some digest, Some len_s when tag = format_version
-      -> (
+    | Some ov, Some tv, Some cv, Some digest, Some len_s
+      when tag = format_version -> (
       match int_of_string_opt len_s with
-      | Some n when n >= 0 && ov = Sys.ocaml_version && tv = tier ->
+      | Some n
+        when n >= 0 && ov = Sys.ocaml_version && tv = tier && cv = cfgkey
+        ->
         Some (digest, n)
       | _ -> None)
     | _ -> None)
   | _ -> None
 
 (** Load the prepared program stored under [key] for interpreter tier
-    [tier], or [None] when the file is absent, from another format
-    version or tier, truncated, corrupt, or unreadable.  An absent file
-    is an ordinary miss; only a present but rejected file counts as a
-    load failure. *)
-let load t ~key ~tier : Harness.prep option =
-  if not (valid_key key && valid_tier tier) then None
+    [tier] and device config [cfgkey], or [None] when the file is
+    absent, from another format version, tier or config, truncated,
+    corrupt, or unreadable.  An absent file is an ordinary miss; only a
+    present but rejected file counts as a load failure. *)
+let load t ~key ~tier ~cfgkey : Harness.prep option =
+  if not (valid_key key && valid_tier tier && valid_cfgkey cfgkey) then None
   else
     match open_in_bin (path_of t key) with
     | exception Sys_error _ -> None
@@ -202,7 +209,7 @@ let load t ~key ~tier : Harness.prep option =
           ~finally:(fun () -> close_in_noerr ic)
           (fun () ->
             try
-              match parse_header ~tier (input_line ic) with
+              match parse_header ~tier ~cfgkey (input_line ic) with
               | None -> None
               | Some (digest, len) ->
                 let payload = really_input_string ic len in

@@ -3,11 +3,12 @@
 
     One file per prepared program under the store directory,
     content-addressed by the caller's key (the harness prep-key MD5
-    digest, which folds in the interpreter tier) with a format-version
-    header (format tag + OCaml version + interpreter tier + payload
-    digest + length) — a load for one tier never accepts a file written
-    for another, so mixed-tier cache directories degrade to an ordinary
-    re-prepare.  Writes are atomic (temp file +
+    digest, which folds in the interpreter tier and device config) with
+    a format-version header (format tag + OCaml version + interpreter
+    tier + device-config digest + payload digest + length) — a load for
+    one tier or preset never accepts a file written for another, so
+    mixed cache directories degrade to an ordinary re-prepare.  Writes
+    are atomic (temp file +
     [Sys.rename]), so concurrent daemon/CLI writers never clobber each
     other and readers never observe partial files.  Every failure mode
     — stale format, truncation, corruption, I/O error — degrades to a
@@ -28,7 +29,7 @@ type stats = {
   verify_rejects : int;
 }
 
-(** The on-disk format tag ([dpc-kcache-v2]); bump when the serialized
+(** The on-disk format tag ([dpc-kcache-v3]); bump when the serialized
     KIR shape or the header layout changes. *)
 val format_version : string
 
@@ -50,11 +51,17 @@ val dir : t -> string
 val stats : t -> stats
 
 (** Serialize a prepared program under [key] for interpreter tier [tier]
-    (a {!Dpc_sim.Interp.mode_to_string} tag, stamped into the header);
-    [false] on any failure (never raises). *)
-val store : t -> key:string -> tier:string -> Dpc_apps.Harness.prep -> bool
+    (a {!Dpc_sim.Interp.mode_to_string} tag) built under device config
+    [cfgkey] (a {!Dpc_apps.Harness.cfg_digest} hex digest); both are
+    stamped into the header.  [false] on any failure (never raises). *)
+val store :
+  t -> key:string -> tier:string -> cfgkey:string ->
+  Dpc_apps.Harness.prep -> bool
 
 (** Load the prepared program stored under [key] for interpreter tier
-    [tier]; [None] when absent, stale, written for another tier, corrupt
-    or unreadable (never raises). *)
-val load : t -> key:string -> tier:string -> Dpc_apps.Harness.prep option
+    [tier] and device config [cfgkey]; [None] when absent, stale,
+    written for another tier or preset, corrupt or unreadable (never
+    raises). *)
+val load :
+  t -> key:string -> tier:string -> cfgkey:string ->
+  Dpc_apps.Harness.prep option

@@ -36,15 +36,16 @@ type t = {
 
 (* --- device-config presets and overrides --------------------------------- *)
 
-let cfg_presets = [ ("k20c", Cfg.k20c); ("test-device", Cfg.test_device) ]
-
+(* The registry lives with the presets themselves ({!Cfg.presets}) so
+   every front end — scenarios, dpcc, experiments — rejects an unknown
+   preset with the same authoritative list. *)
 let cfg_preset_of_string s =
-  match List.assoc_opt (String.lowercase_ascii s) cfg_presets with
+  match Cfg.preset_opt s with
   | Some c -> c
   | None ->
     invalid_arg
       (Printf.sprintf "unknown device preset %S (have: %s)" s
-         (String.concat ", " (List.map fst cfg_presets)))
+         (String.concat ", " Cfg.preset_names))
 
 (* Every integer field of Cfg.t, by name, with getter and setter — the
    surface [cfg.FIELD=N] overrides address (bench ablations sweep these).
@@ -108,6 +109,18 @@ let cfg_fields : (string * (Cfg.t -> int) * (Cfg.t -> int -> Cfg.t)) list =
      fun c v -> { c with Cfg.mem_segment_bytes = v });
     ("l2_segments", (fun c -> c.Cfg.l2_segments),
      fun c v -> { c with Cfg.l2_segments = v });
+    ("shared_banks", (fun c -> c.Cfg.shared_banks),
+     fun c v -> { c with Cfg.shared_banks = v });
+    ("bank_replay_cycles", (fun c -> c.Cfg.bank_replay_cycles),
+     fun c v -> { c with Cfg.bank_replay_cycles = v });
+    ("mshr_per_warp", (fun c -> c.Cfg.mshr_per_warp),
+     fun c v -> { c with Cfg.mshr_per_warp = v });
+    ("mshr_retire_per_access", (fun c -> c.Cfg.mshr_retire_per_access),
+     fun c v -> { c with Cfg.mshr_retire_per_access = v });
+    ("mshr_stall_cycles", (fun c -> c.Cfg.mshr_stall_cycles),
+     fun c v -> { c with Cfg.mshr_stall_cycles = v });
+    ("issue_per_warp", (fun c -> c.Cfg.issue_per_warp),
+     fun c v -> { c with Cfg.issue_per_warp = v });
   ]
 
 let cfg_field name =
@@ -440,12 +453,27 @@ let interp_weight = function
   | Some Dpc_sim.Interp.Bytecode -> 0.54
   | Some Dpc_sim.Interp.Compiled | None -> 1.0
 
+(* Deep-memory-model scenarios spend extra interpreter wall per memory
+   instruction (bank-conflict index collection and the MSHR ledger in
+   Memmodel), so a mixed sweep would under-seed them in the stealing
+   deques.  The weights are per enabled feature — derived from the
+   resolved config rather than the preset name so [cfg.FIELD=N]
+   overrides are priced too.  Fit against the pr10 memmodel sweep:
+   deep presets run ~6-9% more wall than k20c at equal scale. *)
+let cfg_weight t =
+  let c = resolve_cfg t in
+  let w = 1.0 in
+  let w = if c.Cfg.shared_banks > 0 then w +. 0.03 else w in
+  let w = if c.Cfg.mshr_per_warp > 0 then w +. 0.05 else w in
+  w
+
 (** Relative wall-clock estimate of one run, in baseline-cycle units.
     Only the ordering matters: {!Session.run_all}'s stealing scheduler
     seeds its deques longest-first by this value. *)
 let cost_estimate t =
   let items, per_item = app_cost_model t.app t.scale in
   items *. per_item *. variant_weight t.variant *. interp_weight t.interp
+  *. cfg_weight t
 
 (* --- identity -------------------------------------------------------------- *)
 

@@ -16,7 +16,7 @@ type t = {
   policy : Dpc.Config_select.policy option;
       (** [None]: the per-granularity default *)
   alloc : Dpc_alloc.Allocator.kind;
-  cfg_preset : string;  (** ["k20c"] or ["test-device"] *)
+  cfg_preset : string;  (** a {!Dpc_gpu.Config.presets} name *)
   cfg_overrides : (string * int) list;
       (** integer device-config field overrides, sorted by field name *)
   scale : int option;  (** [None]: the app's documented default *)
@@ -75,13 +75,19 @@ val interp_of_string : string -> Dpc_sim.Interp.mode
 (** {2 Cost model} *)
 
 (** Relative wall-clock estimate of the run ([scale x app x variant]
-    weights, plus the interpreter back end's measured ratio), fit from
+    weights, plus the interpreter back end's measured ratio and a
+    device-config weight for deep-memory-model features), fit from
     the measured per-scenario wall clocks committed in [BENCH_pr8.json]
     (the evaluation suite under every interpreter tier).
     {!Session.run_all}'s stealing scheduler orders its deques
     longest-first by this value; estimates steer scheduling only and
     never affect results. *)
 val cost_estimate : t -> float
+
+(** The config factor of {!cost_estimate}: 1.0 for the flat [k20c]
+    model, more when the resolved config enables bank-conflict or MSHR
+    accounting (which cost interpreter wall per memory instruction). *)
+val cfg_weight : t -> float
 
 (** {2 Identity} *)
 

@@ -126,8 +126,8 @@ let preparer_of t : Dpc_apps.Harness.preparer option =
   match base with
   | Some base when t.strict_check ->
     Some
-      (fun ~key ~interp ~build ->
-        let ((p, _) as r) = base ~key ~interp ~build in
+      (fun ~key ~interp ~cfgkey ~build ->
+        let ((p, _) as r) = base ~key ~interp ~cfgkey ~build in
         if interp = "bytecode" then
           Dpc_check.Strict.verify_bytecode p.Dpc_apps.Harness.p_prog;
         r)

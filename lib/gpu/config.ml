@@ -54,6 +54,25 @@ type t = {
   atomic_cycles : int;  (** per-lane atomic operation cost *)
   mem_segment_bytes : int;  (** coalescing granularity *)
   l2_segments : int;  (** L2 capacity in segments (1.5 MB on K20c) *)
+  (* --- deep memory-hierarchy model (Memmodel feature gates) ---
+     Every feature defaults to "off" in {!k20c} with the exact semantics
+     the flat model always had, so presets without these knobs produce
+     byte-identical traces and metrics. *)
+  shared_banks : int;
+      (** shared-memory banks; [0] disables bank-conflict modeling *)
+  bank_replay_cycles : int;
+      (** replay cost per serialized bank-conflict access *)
+  mshr_per_warp : int;
+      (** outstanding DRAM transactions a warp may have in flight
+          (miss-status holding registers); [0] disables the limit *)
+  mshr_retire_per_access : int;
+      (** outstanding transactions retired between a warp's consecutive
+          memory instructions (the deterministic drain model) *)
+  mshr_stall_cycles : int;
+      (** stall cost per transaction issued past the MSHR budget *)
+  issue_per_warp : int;
+      (** instructions one warp may dual-issue per cycle ([1] or [2]);
+          scales the per-block issue-rate cap in {!Timing} *)
 }
 
 let k20c =
@@ -88,6 +107,12 @@ let k20c =
     atomic_cycles = 12;
     mem_segment_bytes = 128;
     l2_segments = 12_288;
+    shared_banks = 0;
+    bank_replay_cycles = 1;
+    mshr_per_warp = 0;
+    mshr_retire_per_access = 16;
+    mshr_stall_cycles = 4;
+    issue_per_warp = 1;
   }
 
 (** A deliberately small device used by unit tests so that occupancy and
@@ -103,6 +128,69 @@ let test_device =
     fixed_pool_capacity = 16;
     l2_segments = 64;
   }
+
+(** {!k20c} with the deep memory-hierarchy features switched on:
+    32-bank shared memory with conflict replay, a 64-entry per-warp MSHR
+    file bounding outstanding DRAM transactions, and dual-issue warp
+    schedulers (Kepler issues up to two independent instructions per
+    warp per cycle).  Same architectural limits as [k20c], so crossover
+    shifts against it isolate the memory model. *)
+let k20c_deep =
+  {
+    k20c with
+    name = "K20c deep (simulated)";
+    shared_banks = 32;
+    bank_replay_cycles = 2;
+    mshr_per_warp = 64;
+    mshr_retire_per_access = 8;
+    mshr_stall_cycles = 4;
+    issue_per_warp = 2;
+  }
+
+(** A milo832-style small core (SNIPPETS.md section 3): one SMX-class
+    core running 32 warps of fine-grained multithreading (1024 threads
+    — enough resident warps that recursive DP parents suspended on a
+    child sync cannot starve their children of warp slots), dual-issue,
+    a 32-bank scratchpad with conflict replay and a small MSHR file:
+    16 outstanding memory transactions per warp draining slowly (one
+    retired per memory instruction), so scatter-heavy warps stall on a
+    full miss queue.  The pending pool and L2 shrink with the core so
+    dynamic-parallelism pressure shows up at unit-test problem sizes. *)
+let milo832 =
+  {
+    k20c with
+    name = "milo832 (simulated)";
+    num_smx = 1;
+    max_warps_per_smx = 32;
+    max_blocks_per_smx = 8;
+    issue_rate = 2;
+    max_concurrent_grids = 8;
+    fixed_pool_capacity = 256;
+    l2_segments = 1_024;
+    shared_banks = 32;
+    bank_replay_cycles = 2;
+    mshr_per_warp = 16;
+    mshr_retire_per_access = 1;
+    mshr_stall_cycles = 4;
+    issue_per_warp = 2;
+  }
+
+(** The named-preset registry, in presentation order — the single list
+    every preset-by-name surface (scenario codecs, CLI flags, README
+    table) derives from. *)
+let presets =
+  [
+    ("k20c", k20c);
+    ("k20c-deep", k20c_deep);
+    ("milo832", milo832);
+    ("test-device", test_device);
+  ]
+
+let preset_names = List.map fst presets
+
+(** Look up a preset by its registry name (case-insensitive). *)
+let preset_opt name =
+  List.assoc_opt (String.lowercase_ascii name) presets
 
 (** Threads per warp rounded up. *)
 let warps_per_block t ~block_dim = (block_dim + t.warp_size - 1) / t.warp_size

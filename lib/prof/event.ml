@@ -26,6 +26,8 @@ type kind =
       weighted_active : float;
       dram_transactions : int;
       l2_hits : int;
+      bank_replays : int;
+      mshr_stalls : int;
       blocks : int;
       warps : int;
     }  (** all blocks and transitive children done; carries the grid's
@@ -97,13 +99,15 @@ let kind_args = function
     [ ("pending_left", Json.Int pending_left) ]
   | Grid_started -> []
   | Grid_completed
-      { issue_cycles; weighted_active; dram_transactions; l2_hits; blocks;
-        warps } ->
+      { issue_cycles; weighted_active; dram_transactions; l2_hits;
+        bank_replays; mshr_stalls; blocks; warps } ->
     [
       ("issue_cycles", Json.Int issue_cycles);
       ("weighted_active", Json.Float weighted_active);
       ("dram_transactions", Json.Int dram_transactions);
       ("l2_hits", Json.Int l2_hits);
+      ("bank_replays", Json.Int bank_replays);
+      ("mshr_stalls", Json.Int mshr_stalls);
       ("blocks", Json.Int blocks);
       ("warps", Json.Int warps);
     ]

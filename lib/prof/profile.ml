@@ -20,6 +20,8 @@ type row = {
   warp_efficiency : float;
   dram_transactions : int;
   l2_hits : int;
+  bank_replays : int;  (** shared-memory bank-conflict replays *)
+  mshr_stalls : int;  (** MSHR-full stall transactions *)
   alloc_calls : int;
   alloc_fallbacks : int;
 }
@@ -41,6 +43,8 @@ type acc = {
   mutable weighted : float;
   mutable dram : int;
   mutable l2 : int;
+  mutable bank_rp : int;
+  mutable mshr_st : int;
   mutable allocs : int;
   mutable fallbacks : int;
 }
@@ -64,7 +68,8 @@ let of_events (events : Event.t array) : row list =
     | None ->
       let a =
         { key; launches = 0; total = 0.0; max = 0.0; wait = 0.0; issue = 0;
-          weighted = 0.0; dram = 0; l2 = 0; allocs = 0; fallbacks = 0 }
+          weighted = 0.0; dram = 0; l2 = 0; bank_rp = 0; mshr_st = 0;
+          allocs = 0; fallbacks = 0 }
       in
       Hashtbl.add kernels key a;
       order := key :: !order;
@@ -83,7 +88,8 @@ let of_events (events : Event.t array) : row list =
         a.wait <- a.wait +. (g.launched_at -. g.enqueued_at)
       | Event.Grid_started -> (grid ev.Event.gid).started_at <- ev.Event.cycles
       | Event.Grid_completed
-          { issue_cycles; weighted_active; dram_transactions; l2_hits; _ } ->
+          { issue_cycles; weighted_active; dram_transactions; l2_hits;
+            bank_replays; mshr_stalls; _ } ->
         let g = grid ev.Event.gid in
         let a = kacc ev in
         let dur = ev.Event.cycles -. g.started_at in
@@ -92,7 +98,9 @@ let of_events (events : Event.t array) : row list =
         a.issue <- a.issue + issue_cycles;
         a.weighted <- a.weighted +. weighted_active;
         a.dram <- a.dram + dram_transactions;
-        a.l2 <- a.l2 + l2_hits
+        a.l2 <- a.l2 + l2_hits;
+        a.bank_rp <- a.bank_rp + bank_replays;
+        a.mshr_st <- a.mshr_st + mshr_stalls
       | Event.Alloc { calls; fallbacks; _ } ->
         let a = kacc ev in
         a.allocs <- a.allocs + calls;
@@ -119,6 +127,8 @@ let of_events (events : Event.t array) : row list =
           (if a.issue = 0 then 1.0 else a.weighted /. Float.of_int a.issue);
         dram_transactions = a.dram;
         l2_hits = a.l2;
+        bank_replays = a.bank_rp;
+        mshr_stalls = a.mshr_st;
         alloc_calls = a.allocs;
         alloc_fallbacks = a.fallbacks;
       })
@@ -173,6 +183,8 @@ let row_to_json r =
       ("warp_efficiency", Json.Float r.warp_efficiency);
       ("dram_transactions", Json.Int r.dram_transactions);
       ("l2_hits", Json.Int r.l2_hits);
+      ("bank_replays", Json.Int r.bank_replays);
+      ("mshr_stalls", Json.Int r.mshr_stalls);
       ("alloc_calls", Json.Int r.alloc_calls);
       ("alloc_fallbacks", Json.Int r.alloc_fallbacks);
     ]

@@ -98,6 +98,10 @@ type t = {
   mutable failed_outcomes : int;
   mutable latency_total_s : float;
   mutable latency_max_s : float;
+  mutable bank_replays : int;
+      (** cumulative bank-conflict replays across served outcomes *)
+  mutable mshr_stalls : int;
+      (** cumulative MSHR stall cycles across served outcomes *)
 }
 
 let log t fmt =
@@ -161,6 +165,8 @@ let create (cfg : config) =
     failed_outcomes = 0;
     latency_total_s = 0.;
     latency_max_s = 0.;
+    bank_replays = 0;
+    mshr_stalls = 0;
   }
 
 let session t = t.session
@@ -239,6 +245,12 @@ let stats_json t =
        ("timed_out_requests", Json.Int t.timeouts);
        ("outcomes", Json.Int t.outcomes);
        ("failed_outcomes", Json.Int t.failed_outcomes);
+       ( "memmodel",
+         Json.Obj
+           [
+             ("bank_conflict_replays", Json.Int t.bank_replays);
+             ("mshr_stalls", Json.Int t.mshr_stalls);
+           ] );
        ("active_connections", Json.Int (Hashtbl.length t.conns));
        ("queued_requests", Json.Int (Queue.length t.jobs));
        ( "cache",
@@ -385,10 +397,14 @@ let step_job t =
         job.remaining <- rest;
         let o = Session.run_outcome t.session sc in
         t.outcomes <- t.outcomes + 1;
-        if Result.is_error o.Session.result then begin
+        (match o.Session.result with
+        | Ok r ->
+          t.bank_replays <-
+            t.bank_replays + r.Dpc_sim.Metrics.bank_conflict_replays;
+          t.mshr_stalls <- t.mshr_stalls + r.Dpc_sim.Metrics.mshr_stalls
+        | Error _ ->
           t.failed_outcomes <- t.failed_outcomes + 1;
-          job.failed <- job.failed + 1
-        end;
+          job.failed <- job.failed + 1);
         send t job.conn
           (Protocol.Outcome
              {

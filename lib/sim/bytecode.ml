@@ -73,38 +73,10 @@ let[@inline] chg (c : C.cctx) cycles m =
   seg.Trace.weighted <-
     seg.Trace.weighted +. (Float.of_int (cycles * pc m) /. 32.0)
 
-(* [acct c addrs n] = [Compile.account c addrs n] = [R.account_access]
-   with the context's model state; same dedup-then-L2 walk, local so the
-   per-memory-op call chain disappears.  [seen] is >= 32 long and
-   [n <= 32]; [sg] is non-negative (addresses are), so [sg mod ntags]
-   indexes [l2_tags] in bounds. *)
-let acct (c : C.cctx) (addrs : int array) n =
-  let seg_bytes = c.C.cfg.Cfg.mem_segment_bytes in
-  let l2_tags = c.C.l2_tags in
-  let seen = c.C.seen in
-  let seg = c.C.seg in
-  let ntags = Array.length l2_tags in
-  let nseen = ref 0 in
-  for k = 0 to n - 1 do
-    let sg = Array.unsafe_get addrs k / seg_bytes in
-    let dup = ref false in
-    let j = ref 0 in
-    while (not !dup) && !j < !nseen do
-      if Array.unsafe_get seen !j = sg then dup := true;
-      incr j
-    done;
-    if not !dup then begin
-      Array.unsafe_set seen !nseen sg;
-      incr nseen;
-      let idx = sg mod ntags in
-      if Array.unsafe_get l2_tags idx = sg then
-        seg.Trace.l2 <- seg.Trace.l2 + 1
-      else begin
-        Array.unsafe_set l2_tags idx sg;
-        seg.Trace.dram <- seg.Trace.dram + 1
-      end
-    end
-  done
+(* Memory-access accounting is NOT inlined here: every global access
+   goes through [C.account] -> {!Memmodel.account_access} (and shared
+   accesses through [C.account_shared]) so the cost semantics live in
+   exactly one place across all three tiers. *)
 
 (* Superinstruction fusion toggle (ablation): lowering-time only, so
    flip it on cache-free sessions. *)
@@ -783,7 +755,7 @@ let rec exec bp c (w : C.warp) pc0 stop rmask =
         incr k;
         mm := !mm land (!mm - 1)
       done;
-      acct c addrs !k;
+      C.account c w addrs !k;
       p := q + 4
     | 9 ->
       (* LOADF *)
@@ -823,7 +795,7 @@ let rec exec bp c (w : C.warp) pc0 stop rmask =
         incr k;
         mm := !mm land (!mm - 1)
       done;
-      acct c addrs !k;
+      C.account c w addrs !k;
       p := q + 4
     | 10 ->
       (* STOREI *)
@@ -863,7 +835,7 @@ let rec exec bp c (w : C.warp) pc0 stop rmask =
         incr k;
         mm := !mm land (!mm - 1)
       done;
-      acct c addrs !k;
+      C.account c w addrs !k;
       p := q + 4
     | 11 ->
       (* STOREF *)
@@ -903,7 +875,7 @@ let rec exec bp c (w : C.warp) pc0 stop rmask =
         incr k;
         mm := !mm land (!mm - 1)
       done;
-      acct c addrs !k;
+      C.account c w addrs !k;
       p := q + 4
     | 12 ->
       (* BUFLEN *)
@@ -928,6 +900,8 @@ let rec exec bp c (w : C.warp) pc0 stop rmask =
       let name = bp.shnames.(code.(q + 4)) in
       let m = !cur in
       chg c 1 m;
+      let idxs = bp.addrs in
+      let k = ref 0 in
       let mm = ref m in
       while !mm <> 0 do
         let l = lb !mm in
@@ -935,9 +909,12 @@ let rec exec bp c (w : C.warp) pc0 stop rmask =
         if i < 0 || i >= Array.length arr then
           err "kernel %s: shared array %s[%d] out of bounds (size %d)"
             bp.kname name i (Array.length arr);
+        Array.unsafe_set idxs !k i;
+        incr k;
         di.(l) <- V.as_int arr.(i);
         mm := !mm land (!mm - 1)
       done;
+      C.account_shared c idxs !k;
       p := q + 5
     | 14 ->
       (* SHSTORE *)
@@ -952,6 +929,8 @@ let rec exec bp c (w : C.warp) pc0 stop rmask =
         err "kernel %s: shared array %s[%d] out of bounds (size %d)"
           bp.kname name i (Array.length arr)
       in
+      let idxs = bp.addrs in
+      let k = ref 0 in
       (if kind = 1 then begin
          let xf = row_f bp w code.(q + 3) in
          let mm = ref m in
@@ -959,6 +938,8 @@ let rec exec bp c (w : C.warp) pc0 stop rmask =
            let l = lb !mm in
            let i = ii.(l) in
            if i < 0 || i >= Array.length arr then oob i;
+           Array.unsafe_set idxs !k i;
+           incr k;
            arr.(i) <- V.Vfloat xf.(l);
            mm := !mm land (!mm - 1)
          done
@@ -971,10 +952,13 @@ let rec exec bp c (w : C.warp) pc0 stop rmask =
            let l = lb !mm in
            let i = ii.(l) in
            if i < 0 || i >= Array.length arr then oob i;
+           Array.unsafe_set idxs !k i;
+           incr k;
            arr.(i) <- box xi.(l);
            mm := !mm land (!mm - 1)
          done
        end);
+      C.account_shared c idxs !k;
       p := q + 6
     | _ -> assert false
   done

@@ -72,7 +72,7 @@ type cctx = {
   cfg : Cfg.t;
   mem : Mem.t;
   alloc : Alloc.t;
-  l2_tags : int array;
+  mm : Memmodel.t;  (** memory-hierarchy model: the single accounting path *)
   gid : int;
   grid_dim : int;
   block_dim : int;
@@ -81,7 +81,6 @@ type cctx = {
   shared : V.t array array;  (** by shared-decl index *)
   warps : warp array;
   seg : Trace.seg_builder;
-  seen : int array;  (** account_access dedup scratch *)
   block_mallocs : V.t option array;  (** by Malloc site *)
   grid_mallocs : V.t option array;
   grid_alloc_count : int ref;
@@ -94,9 +93,10 @@ type cctx = {
 
 let charge c cycles active = R.charge c.seg cycles active
 
-let account c addrs n =
-  R.account_access ~cfg:c.cfg ~l2_tags:c.l2_tags ~seg:c.seg ~seen:c.seen
-    addrs n
+let account c (w : warp) addrs n =
+  Memmodel.account_access c.mm ~seg:c.seg ~warp:w.widx addrs n
+
+let account_shared c idxs n = Memmodel.account_shared c.mm ~seg:c.seg idxs n
 
 (* --- compiled expressions ----------------------------------------------- *)
 
@@ -361,35 +361,45 @@ let rec compile_expr env (e : A.expr) : cexpr =
       | Ty.Sh_bot | Ty.Sh_int ->
         (* every value ever stored is an int, so unboxing is exact *)
         let res = Array.make 32 0 in
+        let sidx = Array.make 32 0 in
         Xi
           (fun c w mask ->
             let g = gi c w mask in
             charge c 1 (pc mask);
             let arr = c.shared.(idx) in
+            let k = ref 0 in
             let m = ref mask in
             while !m <> 0 do
               let l = lb !m in
               let i = ig g l in
               if i < 0 || i >= Array.length arr then oob arr i;
+              sidx.(!k) <- i;
+              incr k;
               res.(l) <- V.as_int arr.(i);
               m := !m land (!m - 1)
             done;
+            account_shared c sidx !k;
             res)
       | Ty.Sh_boxed ->
         let res = Array.make 32 (V.Vint 0) in
+        let sidx = Array.make 32 0 in
         Xb
           (fun c w mask ->
             let g = gi c w mask in
             charge c 1 (pc mask);
             let arr = c.shared.(idx) in
+            let k = ref 0 in
             let m = ref mask in
             while !m <> 0 do
               let l = lb !m in
               let i = ig g l in
               if i < 0 || i >= Array.length arr then oob arr i;
+              sidx.(!k) <- i;
+              incr k;
               res.(l) <- arr.(i);
               m := !m land (!m - 1)
             done;
+            account_shared c sidx !k;
             res)))
   | A.Buf_len be -> (
     let cb = compile_expr env be in
@@ -882,7 +892,7 @@ and compile_load env cb ie : cexpr =
           incr k;
           m := !m land (!m - 1)
         done;
-        account c addrs !k;
+        account c w addrs !k;
         res)
   | Xu (Ty.Efloat, fb), Some fi ->
     let res = Array.make 32 0.0 in
@@ -904,7 +914,7 @@ and compile_load env cb ie : cexpr =
           incr k;
           m := !m land (!m - 1)
         done;
-        account c addrs !k;
+        account c w addrs !k;
         res)
   | Xu (Ty.Eint, fb), None ->
     (* raising index coercion: getter keeps the per-lane raise order *)
@@ -928,7 +938,7 @@ and compile_load env cb ie : cexpr =
           incr k;
           m := !m land (!m - 1)
         done;
-        account c addrs !k;
+        account c w addrs !k;
         res)
   | Xu (Ty.Efloat, fb), None ->
     let gi = irun ci in
@@ -951,7 +961,7 @@ and compile_load env cb ie : cexpr =
           incr k;
           m := !m land (!m - 1)
         done;
-        account c addrs !k;
+        account c w addrs !k;
         res)
   | _ ->
     (* element type unknown (or not a buffer at all): boxed, walker-exact *)
@@ -978,7 +988,7 @@ and compile_load env cb ie : cexpr =
           incr k;
           m := !m land (!m - 1)
         done;
-        account c addrs !k;
+        account c w addrs !k;
         res)
 
 (* --- statement compilation ---------------------------------------------- *)
@@ -1101,11 +1111,13 @@ and compile_stmt_inner env (s : A.stmt) : cctx -> warp -> int -> unit =
         charge c 1 (pc mask);
         err "kernel %s: undeclared shared array %s" env.kname name
     | Some idx ->
+      let sidx = Array.make 32 0 in
       fun c w mask ->
         let g = gi c w mask in
         let x = gx c w mask in
         charge c 1 (pc mask);
         let arr = c.shared.(idx) in
+        let k = ref 0 in
         let m = ref mask in
         while !m <> 0 do
           let l = lb !m in
@@ -1113,9 +1125,12 @@ and compile_stmt_inner env (s : A.stmt) : cctx -> warp -> int -> unit =
           if i < 0 || i >= Array.length arr then
             err "kernel %s: shared array %s[%d] out of bounds (size %d)"
               env.kname name i (Array.length arr);
+          sidx.(!k) <- i;
+          incr k;
           arr.(i) <- vg x l;
           m := !m land (!m - 1)
-        done)
+        done;
+        account_shared c sidx !k)
   | A.If (cond, t, f) ->
     let tc = compile_truth ~charge_node:true (compile_expr env cond) in
     let ct = Array.of_list (List.map (compile_stmt env) t) in
@@ -1287,7 +1302,7 @@ and compile_store env be ie xe : cctx -> warp -> int -> unit =
         incr k;
         m := !m land (!m - 1)
       done;
-      account c addrs !k
+      account c w addrs !k
   | Xu (Ty.Efloat, fb), Some fi when float_of_safe cx <> None ->
     let fx = Option.get (float_of_safe cx) in
     let addrs = Array.make 32 0 in
@@ -1308,7 +1323,7 @@ and compile_store env be ie xe : cctx -> warp -> int -> unit =
         incr k;
         m := !m land (!m - 1)
       done;
-      account c addrs !k
+      account c w addrs !k
   | Xu (Ty.Eint, fb), _ ->
     (* a raising coercion somewhere: getters keep the per-lane raise
        order *)
@@ -1332,7 +1347,7 @@ and compile_store env be ie xe : cctx -> warp -> int -> unit =
         incr k;
         m := !m land (!m - 1)
       done;
-      account c addrs !k
+      account c w addrs !k
   | Xu (Ty.Efloat, fb), _ ->
     let gi = irun ci in
     let gx = frun cx in
@@ -1354,7 +1369,7 @@ and compile_store env be ie xe : cctx -> warp -> int -> unit =
         incr k;
         m := !m land (!m - 1)
       done;
-      account c addrs !k
+      account c w addrs !k
   | _ ->
     let gi = irun ci in
     let gb = vrun cb in
@@ -1379,7 +1394,7 @@ and compile_store env be ie xe : cctx -> warp -> int -> unit =
         incr k;
         m := !m land (!m - 1)
       done;
-      account c addrs !k
+      account c w addrs !k
 
 and compile_for env v lo hi body : cctx -> warp -> int -> unit =
   let clo = compile_expr env lo in
@@ -1589,7 +1604,7 @@ and compile_atomic env op be ie oe ce old : cctx -> warp -> int -> unit =
         incr k;
         m := !m land (!m - 1)
       done;
-      account c addrs !k;
+      account c w addrs !k;
       match assign with
       | None -> ()
       | Some (`I r) -> copy_lanes_i w.ints.(r) olds mask
@@ -1645,7 +1660,7 @@ and compile_atomic env op be ie oe ce old : cctx -> warp -> int -> unit =
         incr k;
         m := !m land (!m - 1)
       done;
-      account c addrs !k;
+      account c w addrs !k;
       match assign with
       | None -> ()
       | Some (`F r) -> copy_lanes_f w.flts.(r) olds mask
@@ -1707,7 +1722,7 @@ and compile_atomic env op be ie oe ce old : cctx -> warp -> int -> unit =
         incr k;
         m := !m land (!m - 1)
       done;
-      account c addrs !k;
+      account c w addrs !k;
       match assign with
       | None -> ()
       | Some set -> set w mask olds
@@ -2060,7 +2075,7 @@ let args_ok ck mem (args : V.t list) =
 
 (* --- block execution ----------------------------------------------------- *)
 
-let exec_block (ck : ckernel) ~(cfg : Cfg.t) ~mem ~alloc ~l2_tags ~gid
+let exec_block (ck : ckernel) ~(cfg : Cfg.t) ~mem ~alloc ~mm ~gid
     ~grid_dim ~block_dim ~depth ~block_idx ~(args : V.t list) ~grid_mallocs
     ~grid_alloc_count ~flush_deep ~enqueue ~add_alloc_cycles ~deep :
     Trace.block_trace =
@@ -2105,7 +2120,7 @@ let exec_block (ck : ckernel) ~(cfg : Cfg.t) ~mem ~alloc ~l2_tags ~gid
       cfg;
       mem;
       alloc;
-      l2_tags;
+      mm;
       gid;
       grid_dim;
       block_dim;
@@ -2114,7 +2129,6 @@ let exec_block (ck : ckernel) ~(cfg : Cfg.t) ~mem ~alloc ~l2_tags ~gid
       shared;
       warps;
       seg = Trace.seg_builder ();
-      seen = Array.make 32 0;
       block_mallocs =
         Array.make (Int.max 1 ck.ck_kernel.K.nsites) None;
       grid_mallocs;
@@ -2125,6 +2139,7 @@ let exec_block (ck : ckernel) ~(cfg : Cfg.t) ~mem ~alloc ~l2_tags ~gid
       add_alloc_cycles;
     }
   in
+  Memmodel.block_start mm;
   ck.ck_run c;
   (* Block end: in deep mode (an enclosing sync is waiting on this
      subtree) children run to completion now; otherwise they join the

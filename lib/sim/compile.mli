@@ -50,7 +50,7 @@ type cctx = {
   cfg : Dpc_gpu.Config.t;
   mem : Dpc_gpu.Memory.t;
   alloc : Dpc_alloc.Allocator.t;
-  l2_tags : int array;
+  mm : Memmodel.t;  (** memory-hierarchy model: the single accounting path *)
   gid : int;
   grid_dim : int;
   block_dim : int;
@@ -59,7 +59,6 @@ type cctx = {
   shared : Dpc_kir.Value.t array array;  (** by shared-decl index *)
   warps : warp array;
   seg : Trace.seg_builder;
-  seen : int array;  (** account_access dedup scratch *)
   block_mallocs : Dpc_kir.Value.t option array;  (** by Malloc site *)
   grid_mallocs : Dpc_kir.Value.t option array;
   grid_alloc_count : int ref;
@@ -73,8 +72,13 @@ type cctx = {
 val charge : cctx -> int -> int -> unit
 (** [charge c cycles active]: issue cycles against the block's segment. *)
 
-val account : cctx -> int array -> int -> unit
-(** [account c addrs n]: coalesce one warp memory instruction. *)
+val account : cctx -> warp -> int array -> int -> unit
+(** [account c w addrs n]: one warp global-memory instruction through
+    {!Memmodel.account_access} (coalescing, L2, MSHR). *)
+
+val account_shared : cctx -> int array -> int -> unit
+(** [account_shared c idxs n]: one warp shared-memory instruction
+    through {!Memmodel.account_shared} (bank-conflict replays). *)
 
 (** Compile-time environment of one kernel: slot types, slot storage
     rows, shared-array indices.  [run_lower], when set, replaces the
@@ -128,7 +132,7 @@ val exec_block :
   cfg:Dpc_gpu.Config.t ->
   mem:Dpc_gpu.Memory.t ->
   alloc:Dpc_alloc.Allocator.t ->
-  l2_tags:int array ->
+  mm:Memmodel.t ->
   gid:int ->
   grid_dim:int ->
   block_dim:int ->

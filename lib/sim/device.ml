@@ -86,6 +86,8 @@ let compute_report t =
     occupancy = timing.Timing.occupancy;
     dram_transactions = totals.Trace.total_dram + timing.Timing.extra_dram;
     l2_hits = totals.Trace.total_l2_hits;
+    bank_conflict_replays = totals.Trace.total_bank_replays;
+    mshr_stalls = totals.Trace.total_mshr_stalls;
     alloc_calls = Alloc.allocs alloc;
     alloc_cycles = s.Interp.alloc_cycles;
     pool_fallbacks = Alloc.pool_fallbacks alloc;

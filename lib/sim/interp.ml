@@ -87,7 +87,7 @@ type session = {
   prog : K.Program.t;
   grids : Trace.grid_exec Vec.t;
   mutable roots : int list;  (** host-launched grid ids, reverse order *)
-  l2_tags : int array;  (** direct-mapped L2 tag store *)
+  mm : Memmodel.t;  (** memory-hierarchy model: the single accounting path *)
   mutable alloc_cycles : int;
   mutable max_depth : int;
   mutable grid_budget : int;  (** runaway-recursion guard *)
@@ -113,7 +113,7 @@ let create_session ?(grid_budget = 150_000) ?mode ?ckernels ~cfg ~alloc prog =
     prog;
     grids = Vec.create ~dummy:dummy_grid;
     roots = [];
-    l2_tags = Array.make (Int.max 1 cfg.Cfg.l2_segments) (-1);
+    mm = Memmodel.create cfg;
     alloc_cycles = 0;
     max_depth = 0;
     grid_budget;
@@ -144,7 +144,7 @@ type bctx = {
   shared : (string, V.t array) Hashtbl.t;
   warps : warp_state array;
   seg : Trace.seg_builder;
-  seen : int array;  (** coalescing dedup scratch for {!R.account_access} *)
+  shidx : int array;  (** shared-access index scratch for {!Memmodel} *)
   block_mallocs : (int, V.t) Hashtbl.t;
   grid_mallocs : V.t option array;
   grid_alloc_count : int ref;
@@ -187,9 +187,11 @@ let special_value c w (s : A.special) lane =
 
 (* --- memory access accounting ------------------------------------------ *)
 
-let account_access c (addrs : int array) n =
-  R.account_access ~cfg:c.s.cfg ~l2_tags:c.s.l2_tags ~seg:c.seg ~seen:c.seen
-    addrs n
+let account_access c w (addrs : int array) n =
+  Memmodel.account_access c.s.mm ~seg:c.seg ~warp:w.widx addrs n
+
+let account_shared c (idxs : int array) n =
+  Memmodel.account_shared c.s.mm ~seg:c.seg idxs n
 
 (* --- expression evaluation (32-wide vectors) ---------------------------- *)
 
@@ -263,19 +265,23 @@ let rec eval c w mask (e : A.expr) : V.t array =
         | Mem.F _ -> res.(l) <- V.Vfloat (Mem.read_float buf idx));
         addrs.(!k) <- Mem.addr buf idx;
         incr k);
-    account_access c addrs !k;
+    account_access c w addrs !k;
     res
   | A.Shared_load (name, ie) ->
     let vi = eval c w mask ie in
     charge c 1 (popcount mask);
     let arr = shared_array c name in
     let res = Array.make 32 (V.Vint 0) in
+    let k = ref 0 in
     iter_lanes mask (fun l ->
         let idx = V.as_int vi.(l) in
         if idx < 0 || idx >= Array.length arr then
           err "kernel %s: shared array %s[%d] out of bounds (size %d)"
             c.kernel.K.kname name idx (Array.length arr);
+        c.shidx.(!k) <- idx;
+        incr k;
         res.(l) <- arr.(idx));
+    account_shared c c.shidx !k;
     res
   | A.Buf_len be ->
     let vb = eval c w mask be in
@@ -327,18 +333,22 @@ let rec exec_warp c w mask (s : A.stmt) =
           | Mem.F _ -> Mem.write_float buf idx (V.as_float vx.(l)));
           addrs.(!k) <- Mem.addr buf idx;
           incr k);
-      account_access c addrs !k
+      account_access c w addrs !k
     | A.Shared_store (name, ie, xe) ->
       let vi = eval c w mask ie in
       let vx = eval c w mask xe in
       charge c 1 (popcount mask);
       let arr = shared_array c name in
+      let k = ref 0 in
       iter_lanes mask (fun l ->
           let idx = V.as_int vi.(l) in
           if idx < 0 || idx >= Array.length arr then
             err "kernel %s: shared array %s[%d] out of bounds (size %d)"
               c.kernel.K.kname name idx (Array.length arr);
-          arr.(idx) <- vx.(l))
+          c.shidx.(!k) <- idx;
+          incr k;
+          arr.(idx) <- vx.(l));
+      account_shared c c.shidx !k
     | A.If (cond, t, f) ->
       let vc = eval c w mask cond in
       charge c 1 (popcount mask);
@@ -429,7 +439,7 @@ let rec exec_warp c w mask (s : A.stmt) =
           | Mem.F _ -> Mem.write_float buf idx (V.as_float new_v));
           addrs.(!k) <- Mem.addr buf idx;
           incr k);
-      account_access c addrs !k;
+      account_access c w addrs !k;
       Option.iter (fun v -> assign_lanes w v mask olds) old
     | A.Launch l ->
       let vg = eval c w mask l.A.grid in
@@ -697,7 +707,7 @@ and exec_block s ~(kernel : K.t) ~gid ~grid_dim ~block_dim ~depth ~block_idx
       shared;
       warps;
       seg = Trace.seg_builder ();
-      seen = Array.make 32 0;
+      shidx = Array.make 32 0;
       block_mallocs = Hashtbl.create 4;
       grid_mallocs;
       grid_alloc_count;
@@ -705,6 +715,7 @@ and exec_block s ~(kernel : K.t) ~gid ~grid_dim ~block_dim ~depth ~block_idx
       deep;
     }
   in
+  Memmodel.block_start s.mm;
   exec_block_stmts c kernel.K.body;
   flush_at_block_end c;
   Trace.finish c.seg ~block_idx ~warps:nwarps
@@ -764,7 +775,7 @@ and exec_grid s ~callee ~grid_dim ~block_dim ~(args : V.t list) ~parent
     | Some ck ->
       Array.init grid_dim (fun block_idx ->
           Compile.exec_block ck ~cfg ~mem:s.mem ~alloc:s.alloc
-            ~l2_tags:s.l2_tags ~gid ~grid_dim ~block_dim ~depth ~block_idx
+            ~mm:s.mm ~gid ~grid_dim ~block_dim ~depth ~block_idx
             ~args ~grid_mallocs ~grid_alloc_count
             ~flush_deep:(run_pending s ~deep:true)
             ~enqueue:(fun pl -> Queue.push pl s.fifo)

@@ -49,7 +49,7 @@ type session = {
   prog : Dpc_kir.Kernel.Program.t;
   grids : Trace.grid_exec Dpc_util.Vec.t;
   mutable roots : int list;
-  l2_tags : int array;
+  mm : Memmodel.t;  (** memory-hierarchy model: the single accounting path *)
   mutable alloc_cycles : int;
   mutable max_depth : int;
   mutable grid_budget : int;

@@ -10,6 +10,8 @@ type report = {
   occupancy : float;  (** achieved SMX occupancy (Fig. 9) *)
   dram_transactions : int;  (** read+write DRAM transactions (Fig. 10) *)
   l2_hits : int;
+  bank_conflict_replays : int;  (** shared-memory replays (deep presets) *)
+  mshr_stalls : int;  (** MSHR-full stall transactions (deep presets) *)
   alloc_calls : int;
   alloc_cycles : int;
   pool_fallbacks : int;
@@ -32,6 +34,8 @@ let to_rows r =
     ("achieved occupancy", Printf.sprintf "%.1f%%" (100.0 *. r.occupancy));
     ("DRAM transactions", string_of_int r.dram_transactions);
     ("L2 hits", string_of_int r.l2_hits);
+    ("bank-conflict replays", string_of_int r.bank_conflict_replays);
+    ("MSHR stalls", string_of_int r.mshr_stalls);
     ("allocator calls", string_of_int r.alloc_calls);
     ("allocator cycles", string_of_int r.alloc_cycles);
     ("pool fallbacks", string_of_int r.pool_fallbacks);
@@ -60,6 +64,8 @@ let to_json r : Dpc_prof.Json.t =
       ("occupancy", Dpc_prof.Json.Float r.occupancy);
       ("dram_transactions", Dpc_prof.Json.Int r.dram_transactions);
       ("l2_hits", Dpc_prof.Json.Int r.l2_hits);
+      ("bank_conflict_replays", Dpc_prof.Json.Int r.bank_conflict_replays);
+      ("mshr_stalls", Dpc_prof.Json.Int r.mshr_stalls);
       ("alloc_calls", Dpc_prof.Json.Int r.alloc_calls);
       ("alloc_cycles", Dpc_prof.Json.Int r.alloc_cycles);
       ("pool_fallbacks", Dpc_prof.Json.Int r.pool_fallbacks);

@@ -14,6 +14,8 @@ type report = {
   occupancy : float;  (** achieved SMX occupancy (Fig. 9) *)
   dram_transactions : int;  (** read+write DRAM transactions (Fig. 10) *)
   l2_hits : int;
+  bank_conflict_replays : int;  (** shared-memory replays (deep presets) *)
+  mshr_stalls : int;  (** MSHR-full stall transactions (deep presets) *)
   alloc_calls : int;
   alloc_cycles : int;
   pool_fallbacks : int;

@@ -8,7 +8,6 @@
 
 module A = Dpc_kir.Ast
 module V = Dpc_kir.Value
-module Cfg = Dpc_gpu.Config
 
 exception Sim_error of string
 
@@ -150,32 +149,6 @@ let charge (seg : Trace.seg_builder) cycles active =
   seg.Trace.weighted <-
     seg.Trace.weighted +. (Float.of_int (cycles * active) /. 32.0)
 
-(* Coalesce one warp memory instruction: [addrs.(0..n-1)] are the byte
-   addresses touched by active lanes; count the distinct 128B segments and
-   run each through the L2 model.  [seen] is caller-provided dedup scratch
-   of length >= 32 (only the first [n] entries are ever consulted, so it
-   needs no re-initialization between calls). *)
-let account_access ~(cfg : Cfg.t) ~(l2_tags : int array)
-    ~(seg : Trace.seg_builder) ~(seen : int array) (addrs : int array) n =
-  let seg_bytes = cfg.Cfg.mem_segment_bytes in
-  let ntags = Array.length l2_tags in
-  let nseen = ref 0 in
-  for k = 0 to n - 1 do
-    let sg = addrs.(k) / seg_bytes in
-    let dup = ref false in
-    let j = ref 0 in
-    while (not !dup) && !j < !nseen do
-      if seen.(!j) = sg then dup := true;
-      incr j
-    done;
-    if not !dup then begin
-      seen.(!nseen) <- sg;
-      incr nseen;
-      let idx = sg mod ntags in
-      if l2_tags.(idx) = sg then seg.Trace.l2 <- seg.Trace.l2 + 1
-      else begin
-        l2_tags.(idx) <- sg;
-        seg.Trace.dram <- seg.Trace.dram + 1
-      end
-    end
-  done
+(* Memory-access accounting deliberately does NOT live here: coalescing,
+   L2, bank conflicts and MSHR occupancy are {!Memmodel}'s — the one
+   accounting path all three interpreter tiers share. *)

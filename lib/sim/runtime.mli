@@ -64,19 +64,6 @@ val lanes_where : int -> (int -> bool) -> int
 (** {2 Charge accounting} *)
 
 (** [charge seg cycles active] charges warp issue cycles with [active]
-    lanes enabled. *)
+    lanes enabled.  Memory-access accounting lives in {!Memmodel} — the
+    single per-access cost path all three interpreter tiers share. *)
 val charge : Trace.seg_builder -> int -> int -> unit
-
-(** Coalesce one warp memory instruction: [addrs.(0..n-1)] are the byte
-    addresses touched by active lanes; count the distinct 128B segments
-    and run each through the L2 model.  [seen] is caller-provided dedup
-    scratch of length >= 32 (only the first [n] entries are ever
-    consulted, so it needs no re-initialization between calls). *)
-val account_access :
-  cfg:Dpc_gpu.Config.t ->
-  l2_tags:int array ->
-  seg:Trace.seg_builder ->
-  seen:int array ->
-  int array ->
-  int ->
-  unit

@@ -116,7 +116,9 @@ let seg_work cfg (s : Trace.segment) =
   Float.of_int
     (s.Trace.issue_cycles
     + (s.Trace.dram_transactions * cfg.Cfg.dram_transaction_cycles)
-    + (s.Trace.l2_hits * cfg.Cfg.l2_hit_cycles))
+    + (s.Trace.l2_hits * cfg.Cfg.l2_hit_cycles)
+    + (s.Trace.bank_replays * cfg.Cfg.bank_replay_cycles)
+    + (s.Trace.mshr_stalls * cfg.Cfg.mshr_stall_cycles))
 
 let make_block_run cfg (g : Trace.grid_exec) (bt : Trace.block_trace) =
   {
@@ -250,6 +252,10 @@ let reschedule t (b : block_run) =
 
 let recompute_rates t (s : smx_state) =
   let issue = Float.of_int t.cfg.Cfg.issue_rate in
+  (* Dual-issue: each resident warp may issue up to [issue_per_warp]
+     instructions per cycle, so a block's ceiling is warps x slots.  At
+     the default 1 this is exactly the historical single-issue model. *)
+  let ipw = Float.of_int t.cfg.Cfg.issue_per_warp in
   let total_warps =
     List.fold_left (fun acc b -> acc + b.warps) 0 s.resident
   in
@@ -258,10 +264,10 @@ let recompute_rates t (s : smx_state) =
       let w = Float.of_int b.warps in
       let rate =
         match t.scheduler with
-        | Fcfs -> Float.min w issue
+        | Fcfs -> Float.min (w *. ipw) issue
         | Processor_sharing ->
           if total_warps = 0 then 0.0
-          else Float.min w (issue *. w /. Float.of_int total_warps)
+          else Float.min (w *. ipw) (issue *. w /. Float.of_int total_warps)
       in
       b.rate <- rate;
       reschedule t b)
@@ -463,6 +469,8 @@ and check_grid_complete t (g : grid_state) =
              weighted_active = totals.Trace.total_weighted;
              dram_transactions = totals.Trace.total_dram;
              l2_hits = totals.Trace.total_l2_hits;
+             bank_replays = totals.Trace.total_bank_replays;
+             mshr_stalls = totals.Trace.total_mshr_stalls;
              blocks = Array.length g.blocks;
              warps = Array.fold_left (fun acc b -> acc + b.warps) 0 g.blocks;
            })

@@ -23,6 +23,8 @@ type segment = {
   weighted_active : float;  (** sum over issue cycles of active_lanes/32 *)
   dram_transactions : int;
   l2_hits : int;
+  bank_replays : int;  (** shared-memory bank-conflict replay accesses *)
+  mshr_stalls : int;  (** DRAM transactions issued past the MSHR budget *)
   alloc_calls : int;  (** device-heap allocations issued in this segment *)
   alloc_fallbacks : int;  (** of which pool-exhaustion fallbacks *)
   alloc_cycles : int;  (** allocator cycles charged to this segment *)
@@ -52,6 +54,8 @@ type seg_builder = {
   mutable weighted : float;
   mutable dram : int;
   mutable l2 : int;
+  mutable bank_rp : int;
+  mutable mshr_st : int;
   mutable allocs : int;
   mutable alloc_fb : int;
   mutable alloc_cyc : int;
@@ -60,12 +64,13 @@ type seg_builder = {
 
 let dummy_segment =
   { issue_cycles = 0; weighted_active = 0.0; dram_transactions = 0;
-    l2_hits = 0; alloc_calls = 0; alloc_fallbacks = 0; alloc_cycles = 0;
-    ends_with = Seg_done }
+    l2_hits = 0; bank_replays = 0; mshr_stalls = 0; alloc_calls = 0;
+    alloc_fallbacks = 0; alloc_cycles = 0; ends_with = Seg_done }
 
 let seg_builder () =
-  { issue = 0; weighted = 0.0; dram = 0; l2 = 0; allocs = 0; alloc_fb = 0;
-    alloc_cyc = 0; segs = Dpc_util.Vec.create ~dummy:dummy_segment }
+  { issue = 0; weighted = 0.0; dram = 0; l2 = 0; bank_rp = 0; mshr_st = 0;
+    allocs = 0; alloc_fb = 0; alloc_cyc = 0;
+    segs = Dpc_util.Vec.create ~dummy:dummy_segment }
 
 (** Close the current segment with [ends_with] and start a fresh one. *)
 let cut b ends_with =
@@ -75,6 +80,8 @@ let cut b ends_with =
       weighted_active = b.weighted;
       dram_transactions = b.dram;
       l2_hits = b.l2;
+      bank_replays = b.bank_rp;
+      mshr_stalls = b.mshr_st;
       alloc_calls = b.allocs;
       alloc_fallbacks = b.alloc_fb;
       alloc_cycles = b.alloc_cyc;
@@ -84,6 +91,8 @@ let cut b ends_with =
   b.weighted <- 0.0;
   b.dram <- 0;
   b.l2 <- 0;
+  b.bank_rp <- 0;
+  b.mshr_st <- 0;
   b.allocs <- 0;
   b.alloc_fb <- 0;
   b.alloc_cyc <- 0
@@ -99,12 +108,14 @@ type totals = {
   total_weighted : float;
   total_dram : int;
   total_l2_hits : int;
+  total_bank_replays : int;
+  total_mshr_stalls : int;
   device_launches : int;
   device_syncs : int;
 }
 
-let accumulate_grid ~issue ~weighted ~dram ~l2 ~launches ~syncs
-    (g : grid_exec) =
+let accumulate_grid ~issue ~weighted ~dram ~l2 ~bank_rp ~mshr_st ~launches
+    ~syncs (g : grid_exec) =
   Array.iter
     (fun bt ->
       Array.iter
@@ -113,6 +124,8 @@ let accumulate_grid ~issue ~weighted ~dram ~l2 ~launches ~syncs
           weighted := !weighted +. s.weighted_active;
           dram := !dram + s.dram_transactions;
           l2 := !l2 + s.l2_hits;
+          bank_rp := !bank_rp + s.bank_replays;
+          mshr_st := !mshr_st + s.mshr_stalls;
           match s.ends_with with
           | Seg_launch ids -> launches := !launches + Array.length ids
           | Seg_sync -> incr syncs
@@ -123,15 +136,19 @@ let accumulate_grid ~issue ~weighted ~dram ~l2 ~launches ~syncs
 let totals_of_grids (grids : grid_exec array) =
   let issue = ref 0 and weighted = ref 0.0 in
   let dram = ref 0 and l2 = ref 0 in
+  let bank_rp = ref 0 and mshr_st = ref 0 in
   let launches = ref 0 and syncs = ref 0 in
   Array.iter
-    (accumulate_grid ~issue ~weighted ~dram ~l2 ~launches ~syncs)
+    (accumulate_grid ~issue ~weighted ~dram ~l2 ~bank_rp ~mshr_st ~launches
+       ~syncs)
     grids;
   {
     total_issue = !issue;
     total_weighted = !weighted;
     total_dram = !dram;
     total_l2_hits = !l2;
+    total_bank_replays = !bank_rp;
+    total_mshr_stalls = !mshr_st;
     device_launches = !launches;
     device_syncs = !syncs;
   }

@@ -26,6 +26,8 @@ type segment = {
   weighted_active : float;  (** sum over issue cycles of active_lanes/32 *)
   dram_transactions : int;
   l2_hits : int;
+  bank_replays : int;  (** shared-memory bank-conflict replay accesses *)
+  mshr_stalls : int;  (** DRAM transactions issued past the MSHR budget *)
   alloc_calls : int;  (** device-heap allocations issued in this segment *)
   alloc_fallbacks : int;  (** of which pool-exhaustion fallbacks *)
   alloc_cycles : int;  (** allocator cycles charged to this segment *)
@@ -50,9 +52,9 @@ type grid_exec = {
 
 (** {2 Builders used by the interpreter}
 
-    A [seg_builder] accumulates the current segment's counters; both
-    interpreter back ends mutate its fields directly (via
-    {!Runtime.charge} and {!Runtime.account_access}), so they are
+    A [seg_builder] accumulates the current segment's counters; every
+    interpreter back end mutates its fields directly (via
+    {!Runtime.charge} and {!Memmodel.account_access}), so they are
     exposed. *)
 
 type seg_builder = {
@@ -60,6 +62,8 @@ type seg_builder = {
   mutable weighted : float;
   mutable dram : int;
   mutable l2 : int;
+  mutable bank_rp : int;
+  mutable mshr_st : int;
   mutable allocs : int;
   mutable alloc_fb : int;
   mutable alloc_cyc : int;
@@ -85,6 +89,8 @@ type totals = {
   total_weighted : float;
   total_dram : int;
   total_l2_hits : int;
+  total_bank_replays : int;
+  total_mshr_stalls : int;
   device_launches : int;
   device_syncs : int;
 }

@@ -34,7 +34,7 @@ type capture = {
   compiled_kernels : int;  (** kernels that lowered to closures *)
 }
 
-let run_mode (e : R.entry) v mode : capture =
+let run_mode ?cfg (e : R.entry) v mode : capture =
   let saved = I.default_mode () in
   I.set_default_mode mode;
   Fun.protect
@@ -43,7 +43,7 @@ let run_mode (e : R.entry) v mode : capture =
       let grids = ref [||] in
       let compiled = ref 0 in
       let report =
-        e.R.run ~scale:(small_scale e.R.name)
+        e.R.run ?cfg ~scale:(small_scale e.R.name)
           ~inspect:(fun dev ->
             let s = Device.session dev in
             grids := I.grids s;
@@ -69,6 +69,8 @@ let check_segment ~tier ctx (a : T.segment) (b : T.segment) =
       (Printf.sprintf "%h" b.T.weighted_active);
   chk_int "dram_transactions" a.T.dram_transactions b.T.dram_transactions;
   chk_int "l2_hits" a.T.l2_hits b.T.l2_hits;
+  chk_int "bank_replays" a.T.bank_replays b.T.bank_replays;
+  chk_int "mshr_stalls" a.T.mshr_stalls b.T.mshr_stalls;
   chk_int "alloc_calls" a.T.alloc_calls b.T.alloc_calls;
   chk_int "alloc_fallbacks" a.T.alloc_fallbacks b.T.alloc_fallbacks;
   chk_int "alloc_cycles" a.T.alloc_cycles b.T.alloc_cycles;
@@ -137,14 +139,40 @@ let check_tier ~tier name (ref_ : capture) (cmp : capture) =
         ga cmp.grids.(i))
     ref_.grids
 
-let diff_app_variant (e : R.entry) v () =
+let diff_app_variant ?cfg (e : R.entry) v () =
   let name = Printf.sprintf "%s/%s" e.R.name (H.variant_to_string v) in
-  let ref_ = run_mode e v I.Reference in
-  check_tier ~tier:"compiled" name ref_ (run_mode e v I.Compiled);
-  check_tier ~tier:"bytecode" name ref_ (run_mode e v I.Bytecode)
+  let ref_ = run_mode ?cfg e v I.Reference in
+  check_tier ~tier:"compiled" name ref_ (run_mode ?cfg e v I.Compiled);
+  check_tier ~tier:"bytecode" name ref_ (run_mode ?cfg e v I.Bytecode)
 
 let variants =
   [ H.Basic; H.Cons Pragma.Warp; H.Cons Pragma.Block; H.Cons Pragma.Grid ]
+
+(* Deep presets exercise the gated Memmodel features (bank-conflict
+   replay, MSHR stalls, dual-issue); byte-identity must hold under them
+   too, including the two new segment counters.  Basic-dp plus one
+   consolidated variant per app keeps the added wall-clock modest while
+   still covering the transform's shared-memory inlining. *)
+let deep_presets =
+  [ ("k20c-deep", Dpc_gpu.Config.k20c_deep);
+    ("milo832", Dpc_gpu.Config.milo832) ]
+
+let deep_variants = [ H.Basic; H.Cons Pragma.Block ]
+
+(* On the features-off default preset the new counters must stay exactly
+   zero everywhere — the guarantee that default exports remain
+   byte-identical to releases before the deep model existed. *)
+let test_k20c_counters_zero () =
+  List.iter
+    (fun (e : R.entry) ->
+      let r = e.R.run ~scale:(small_scale e.R.name) H.Basic in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: bank replays on k20c" e.R.name)
+        0 r.M.bank_conflict_replays;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: mshr stalls on k20c" e.R.name)
+        0 r.M.mshr_stalls)
+    R.all
 
 let suite =
   List.concat_map
@@ -156,3 +184,21 @@ let suite =
             `Slow (diff_app_variant e v))
         variants)
     R.all
+  @ List.concat_map
+      (fun (pname, cfg) ->
+        List.concat_map
+          (fun (e : R.entry) ->
+            List.map
+              (fun v ->
+                Alcotest.test_case
+                  (Printf.sprintf "%s %s [%s]" e.R.name
+                     (H.variant_to_string v) pname)
+                  `Slow
+                  (diff_app_variant ~cfg e v))
+              deep_variants)
+          R.all)
+      deep_presets
+  @ [
+      Alcotest.test_case "k20c deep counters stay zero" `Quick
+        test_k20c_counters_zero;
+    ]

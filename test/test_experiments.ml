@@ -19,6 +19,8 @@ let report ~cycles ~launches ~eff ~occ ~dram : M.report =
     occupancy = occ;
     dram_transactions = dram;
     l2_hits = 0;
+    bank_conflict_replays = 0;
+    mshr_stalls = 0;
     alloc_calls = 0;
     alloc_cycles = 0;
     pool_fallbacks = 0;

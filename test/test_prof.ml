@@ -76,7 +76,7 @@ let test_json_errors () =
 
 (* --- Metrics completeness ------------------------------------------------ *)
 
-(* A report whose sixteen fields all carry distinct, recognizable
+(* A report whose eighteen fields all carry distinct, recognizable
    values: if a field is dropped from [to_rows] or [to_json], its value
    disappears from the output and the test names it. *)
 let distinct_report =
@@ -89,6 +89,8 @@ let distinct_report =
     occupancy = 0.106;
     dram_transactions = 107;
     l2_hits = 108;
+    bank_conflict_replays = 117;
+    mshr_stalls = 118;
     alloc_calls = 109;
     alloc_cycles = 110;
     pool_fallbacks = 111;
@@ -101,7 +103,7 @@ let distinct_report =
 
 let test_metrics_rows_complete () =
   let rows = M.to_rows distinct_report in
-  Alcotest.(check int) "sixteen rows" 16 (List.length rows);
+  Alcotest.(check int) "eighteen rows" 18 (List.length rows);
   let mem v what =
     Alcotest.(check bool) (what ^ " present") true
       (List.exists (fun (_, cell) -> cell = v) rows
@@ -119,6 +121,8 @@ let test_metrics_rows_complete () =
   mem "10.6" "occupancy";
   mem "107" "dram_transactions";
   mem "108" "l2_hits";
+  mem "117" "bank_conflict_replays";
+  mem "118" "mshr_stalls";
   mem "109" "alloc_calls";
   mem "110" "alloc_cycles";
   mem "111" "pool_fallbacks";
@@ -135,7 +139,7 @@ let test_metrics_json_complete () =
     | Json.Obj kvs -> kvs
     | _ -> Alcotest.fail "to_json is not an object"
   in
-  Alcotest.(check int) "sixteen fields" 16 (List.length fields);
+  Alcotest.(check int) "eighteen fields" 18 (List.length fields);
   let num key expect =
     match Json.member key j with
     | Some v -> Alcotest.(check (float 1e-9)) key expect (Json.number v)
@@ -149,6 +153,8 @@ let test_metrics_json_complete () =
   num "occupancy" 0.106;
   num "dram_transactions" 107.0;
   num "l2_hits" 108.0;
+  num "bank_conflict_replays" 117.0;
+  num "mshr_stalls" 118.0;
   num "alloc_calls" 109.0;
   num "alloc_cycles" 110.0;
   num "pool_fallbacks" 111.0;

@@ -310,17 +310,25 @@ let pstore_key_hygiene () =
   in
   let st = Pstore.create dir in
   let tier = "compiled" in
-  let prep = Option.get (Pstore.load st ~key ~tier) in
+  let cfgkey = H.cfg_digest Dpc_gpu.Config.k20c in
+  let prep = Option.get (Pstore.load st ~key ~tier ~cfgkey) in
   Alcotest.(check bool) "traversal key refused on store" false
-    (Pstore.store st ~key:"../evil" ~tier prep);
+    (Pstore.store st ~key:"../evil" ~tier ~cfgkey prep);
   Alcotest.(check bool) "traversal key never loads" true
-    (Option.is_none (Pstore.load st ~key:"../evil" ~tier));
+    (Option.is_none (Pstore.load st ~key:"../evil" ~tier ~cfgkey));
   (* The header's tier stamp must match the requested tier: a file
      written for the closure tier never answers a bytecode load. *)
   Alcotest.(check bool) "other-tier load degrades to a miss" true
-    (Option.is_none (Pstore.load st ~key ~tier:"bytecode"));
+    (Option.is_none (Pstore.load st ~key ~tier:"bytecode" ~cfgkey));
   Alcotest.(check bool) "malformed tier refused on store" false
-    (Pstore.store st ~key ~tier:"two words" prep)
+    (Pstore.store st ~key ~tier:"two words" ~cfgkey prep);
+  (* Same for the config stamp: a file written under one preset never
+     answers a load for another. *)
+  let deep = H.cfg_digest Dpc_gpu.Config.k20c_deep in
+  Alcotest.(check bool) "other-preset load degrades to a miss" true
+    (Option.is_none (Pstore.load st ~key ~tier ~cfgkey:deep));
+  Alcotest.(check bool) "malformed cfg digest refused on store" false
+    (Pstore.store st ~key ~tier ~cfgkey:"not hex!" prep)
 
 (* The verifier is the Pstore trust boundary.  The degrade matrix: a
    decodable .prep whose payload fails re-verification (a planted
@@ -345,12 +353,13 @@ let pstore_verify_degrade_matrix () =
     | _ -> Alcotest.fail "expected one .prep file"
   in
   let tier = "compiled" in
+  let cfgkey = H.cfg_digest Dpc_gpu.Config.k20c in
   (* Plant a semantically bad prep under the real key: the header and
      digest are valid (a raw verify-less store wrote it), but the body's
      kernel puts a barrier under a thread-divergent branch — something
      only the semantic verifier can catch. *)
   let raw = Pstore.create dir in
-  let good = Option.get (Pstore.load raw ~key ~tier) in
+  let good = Option.get (Pstore.load raw ~key ~tier ~cfgkey) in
   let bad_prog =
     let open Dpc_kir.Build in
     let prog = Dpc_kir.Kernel.Program.create () in
@@ -361,7 +370,7 @@ let pstore_verify_degrade_matrix () =
     prog
   in
   Alcotest.(check bool) "planted bad prep stored" true
-    (Pstore.store raw ~key ~tier { good with H.p_prog = bad_prog });
+    (Pstore.store raw ~key ~tier ~cfgkey { good with H.p_prog = bad_prog });
   let sb, rb = run_one ~persist:dir sc_a in
   let cs = Session.cache_stats sb in
   let ps = Option.get (Session.persist_stats sb) in
@@ -383,11 +392,11 @@ let pstore_verify_degrade_matrix () =
       dir
   in
   Alcotest.(check bool) "good file loads through the verifier" true
-    (Option.is_some (Pstore.load vetting ~key ~tier));
+    (Option.is_some (Pstore.load vetting ~key ~tier ~cfgkey));
   Alcotest.(check bool) "verifier consulted on tier match" true !consulted;
   consulted := false;
   Alcotest.(check bool) "tier-mismatched stream never loads" true
-    (Option.is_none (Pstore.load vetting ~key ~tier:"bytecode"));
+    (Option.is_none (Pstore.load vetting ~key ~tier:"bytecode" ~cfgkey));
   Alcotest.(check bool) "tier mismatch short-circuits the verifier" false
     !consulted;
   (* A verifier that raises is contained: ordinary miss, counted as a
@@ -396,7 +405,7 @@ let pstore_verify_degrade_matrix () =
     Pstore.create ~verify:(fun ~tier:_ _ -> failwith "boom") dir
   in
   Alcotest.(check bool) "throwing verifier degrades to a miss" true
-    (Option.is_none (Pstore.load throwing ~key ~tier));
+    (Option.is_none (Pstore.load throwing ~key ~tier ~cfgkey));
   Alcotest.(check int) "exception counted as verify reject" 1
     (Pstore.stats throwing).Pstore.verify_rejects;
   Alcotest.(check int) "exception is not a decode failure" 0
@@ -452,7 +461,14 @@ let server_sweep_identity () =
   let hits = Json.to_int (Option.get (Json.member "hits" cache)) in
   Alcotest.(check bool) "warm cache hits observed" true (hits > 0);
   let obs = Json.to_int (Option.get (Json.member "cost_observations" stats)) in
-  Alcotest.(check bool) "daemon learns costs" true (obs > 0)
+  Alcotest.(check bool) "daemon learns costs" true (obs > 0);
+  (* The memmodel totals are present, and stay zero for the
+     features-off default preset these sweeps ran under. *)
+  let mm = Option.get (Json.member "memmodel" stats) in
+  Alcotest.(check int) "k20c sweeps accumulate no bank replays" 0
+    (Json.to_int (Option.get (Json.member "bank_conflict_replays" mm)));
+  Alcotest.(check int) "k20c sweeps accumulate no mshr stalls" 0
+    (Json.to_int (Option.get (Json.member "mshr_stalls" mm)))
 
 (* Failures are per-request: quota refusals, over-budget sweeps and
    malformed lines answer with error/timeout events and the daemon keeps

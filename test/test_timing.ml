@@ -123,6 +123,136 @@ let test_report_deterministic () =
   in
   Alcotest.(check (float 0.0)) "same cycles both runs" (run ()) (run ())
 
+(* --- deep memory-model features: Memmodel counting + Timing pricing --- *)
+
+module Mm = Dpc_sim.Memmodel
+module T = Dpc_sim.Trace
+
+let deep_cfg =
+  {
+    Cfg.test_device with
+    Cfg.shared_banks = 32;
+    bank_replay_cycles = 2;
+    mshr_per_warp = 8;
+    mshr_retire_per_access = 1;
+    mshr_stall_cycles = 4;
+  }
+
+let test_memmodel_bank_replays () =
+  let mm = Mm.create deep_cfg in
+  let seg = T.seg_builder () in
+  let idx f = Array.init 32 f in
+  let count a =
+    let before = seg.T.bank_rp in
+    Mm.account_shared mm ~seg a 32;
+    seg.T.bank_rp - before
+  in
+  Alcotest.(check int) "unit stride is conflict-free" 0
+    (count (idx (fun l -> l)));
+  Alcotest.(check int) "one word broadcasts for free" 0
+    (count (idx (fun _ -> 7)));
+  Alcotest.(check int) "stride two: two words per bank, one replay" 1
+    (count (idx (fun l -> 2 * l)));
+  Alcotest.(check int) "stride 32: all lanes on one bank" 31
+    (count (idx (fun l -> 32 * l)));
+  (* Two distinct words 64 apart share one dedup scratch slot; the
+     linear fallback must still see two words on bank zero (one
+     replay), not collapse them into a broadcast. *)
+  Alcotest.(check int) "slot-colliding words stay distinct" 1
+    (count (idx (fun l -> if l < 16 then 0 else 64)))
+
+let test_memmodel_mshr_stalls () =
+  let mm = Mm.create deep_cfg in
+  Mm.block_start mm;
+  let seg = T.seg_builder () in
+  (* 32 lanes touch 32 distinct cold segments: 32 misses against the
+     8-entry budget leave 24 transactions past it. *)
+  let addrs = Array.init 32 (fun l -> l * 128) in
+  Mm.account_access mm ~seg ~warp:0 addrs 32;
+  Alcotest.(check int) "misses counted" 32 seg.T.dram;
+  Alcotest.(check int) "stalls past the budget" 24 seg.T.mshr_st;
+  (* The same segments now hit in L2: no new misses, and the occupancy
+     drains instead of stalling again. *)
+  Mm.account_access mm ~seg ~warp:0 addrs 32;
+  Alcotest.(check int) "hits add no stalls" 24 seg.T.mshr_st;
+  Alcotest.(check int) "hits served by L2" 32 seg.T.l2;
+  (* A fresh block resets per-warp occupancy. *)
+  Mm.block_start mm;
+  let seg2 = T.seg_builder () in
+  Mm.account_access mm ~seg:seg2 ~warp:0 [| 0 |] 1;
+  Alcotest.(check int) "block reset: one hit, no stall" 0 seg2.T.mshr_st
+
+let test_dual_issue_speedup () =
+  (* One block of two warps on a 4-slot SMX: single-issue caps the block
+     at 2 instructions/cycle, dual-issue at 4. *)
+  let run ipw =
+    let cfg = { Cfg.test_device with Cfg.issue_per_warp = ipw } in
+    (run_report ~cfg [ busy_kernel "b" 2000 ] ~entry:"b" ~grid:1 ~block:64)
+      .M.cycles
+  in
+  let single = run 1 and dual = run 2 in
+  Alcotest.(check bool) "dual-issue is materially faster" true
+    (dual < single *. 0.8)
+
+let test_bank_replays_charged () =
+  let k =
+    kernel ~name:"b" ~params:[ pi "out" ] ~shared:[ ("s", 64) ]
+      [
+        shared_set "s" (tid *: i 2 %: i 64) tid;
+        sync;
+        store (v "out") (i 0) (shared "s" (i 0));
+      ]
+  in
+  let run banks =
+    let cfg =
+      {
+        Cfg.test_device with
+        Cfg.shared_banks = banks;
+        bank_replay_cycles = 64;
+      }
+    in
+    run_report ~cfg [ k ] ~entry:"b" ~grid:1 ~block:32
+  in
+  let off = run 0 and on_ = run 32 in
+  Alcotest.(check int) "no replays with banks unmodeled" 0
+    off.M.bank_conflict_replays;
+  Alcotest.(check bool) "stride-two store replays" true
+    (on_.M.bank_conflict_replays > 0);
+  Alcotest.(check bool) "replays cost cycles" true
+    (on_.M.cycles > off.M.cycles)
+
+let test_mshr_stalls_charged () =
+  let k =
+    kernel ~name:"b"
+      ~params:[ pi "d"; pi "out" ]
+      [
+        set "x" (load (v "d") (tid *: i 64));
+        store (v "out") (i 0) (v "x");
+      ]
+  in
+  let run mshr =
+    let cfg =
+      {
+        Cfg.test_device with
+        Cfg.mshr_per_warp = mshr;
+        mshr_retire_per_access = 1;
+        mshr_stall_cycles = 100;
+      }
+    in
+    let dev = Device.create ~cfg (mk_program [ k ]) in
+    let d = Device.alloc_int dev ~name:"d" 2048 in
+    let out = Device.alloc_int dev ~name:"out" 4 in
+    Device.launch dev "b" ~grid:1 ~block:32
+      [ V.Vbuf d.Dpc_gpu.Memory.id; V.Vbuf out.Dpc_gpu.Memory.id ];
+    Device.report dev
+  in
+  let off = run 0 and on_ = run 8 in
+  Alcotest.(check int) "no stalls with MSHRs unmodeled" 0 off.M.mshr_stalls;
+  Alcotest.(check bool) "scatter past the budget stalls" true
+    (on_.M.mshr_stalls > 0);
+  Alcotest.(check bool) "stalls cost cycles" true
+    (on_.M.cycles > off.M.cycles)
+
 let suite =
   [
     Alcotest.test_case "blocks serialize" `Quick test_more_blocks_take_longer;
@@ -135,6 +265,14 @@ let suite =
       test_host_launches_serialize;
     Alcotest.test_case "fcfs vs ps" `Quick test_fcfs_not_slower_than_ps;
     Alcotest.test_case "deterministic" `Quick test_report_deterministic;
+    Alcotest.test_case "memmodel bank replays" `Quick
+      test_memmodel_bank_replays;
+    Alcotest.test_case "memmodel mshr stalls" `Quick
+      test_memmodel_mshr_stalls;
+    Alcotest.test_case "dual issue" `Quick test_dual_issue_speedup;
+    Alcotest.test_case "bank replays charged" `Quick
+      test_bank_replays_charged;
+    Alcotest.test_case "mshr stalls charged" `Quick test_mshr_stalls_charged;
   ]
 
 let test_timeline_renders () =
